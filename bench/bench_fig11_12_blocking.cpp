@@ -1,0 +1,88 @@
+// Reproduces paper Figures 11 and 12: the blocking-scheme estimate.
+// Molecules are grouped into cubic clusters; computation rises (extra
+// pairs between r_c and r_c + cluster size) while memory traffic falls
+// (positions amortize over the cluster and the per-interaction index
+// streams disappear). Like the paper's MATLAB model, ours is calibrated
+// from a simulated run of the `variable` scheme.
+//
+// The conclusion depends on the kernel/memory balance of that calibration,
+// so three are shown:
+//   (a) as simulated -- our stream cache captures the 65 KB position
+//       array, making `variable` kernel-bound; blocking cannot help;
+//   (b) gathers at DRAM random-access bandwidth (no cache), roughly the
+//       assumption of an offline estimate;
+//   (c) the paper's regime -- memory time ~2.5x kernel time -- which
+//       recovers the paper's interior minimum at a small cluster size.
+#include <cstdio>
+
+#include "src/core/blocking.h"
+#include "src/core/report.h"
+#include "src/core/run.h"
+
+using namespace smd;
+
+namespace {
+
+void show(const char* title, const core::BlockingModel& model) {
+  std::printf("%s\n", title);
+  std::printf("  calibration: kernel %.0f cycles, memory %.0f cycles (M/K = %.2f)\n",
+              model.params().variable_kernel_cycles,
+              model.params().variable_memory_cycles,
+              model.params().variable_memory_cycles /
+                  model.params().variable_kernel_cycles);
+  const auto min = model.minimum();
+  for (const auto& p : model.sweep(0.6, 4.2, 13)) {
+    const int bar = static_cast<int>(p.time_rel * 25 + 0.5);
+    std::printf("  x=%4.1f (%5.1f mol)  kernel %5.2f  memory %5.2f  time %5.2f |%s\n",
+                p.size, p.molecules, p.kernel_rel, p.memory_rel, p.time_rel,
+                std::string(static_cast<std::size_t>(std::min(bar, 80)), '#')
+                    .c_str());
+  }
+  std::printf("  minimum: %.2fx variable at cluster size %.2f (%.1f molecules)\n\n",
+              min.time_rel, min.size, min.molecules);
+}
+
+}  // namespace
+
+int main() {
+  const core::Problem problem = core::Problem::make({});
+  const auto variable = core::run_variant(problem, core::Variant::kVariable);
+
+  core::BlockingModelParams params;
+  params.cutoff = problem.setup.cutoff;
+  params.variable_kernel_cycles =
+      static_cast<double>(variable.run.kernel_busy_cycles);
+  params.variable_memory_cycles =
+      static_cast<double>(variable.run.mem_busy_cycles);
+  params.variable_words_per_interaction =
+      static_cast<double>(variable.mem_refs) /
+      static_cast<double>(variable.n_real_interactions);
+  params.interactions_per_molecule =
+      static_cast<double>(problem.half_list.n_pairs()) /
+      static_cast<double>(problem.system.n_molecules());
+
+  std::printf("== Figures 11-12: blocking-scheme estimate ==\n\n");
+  show("(a) calibrated from the simulated run (cache-assisted gathers):",
+       core::BlockingModel(params));
+
+  // (b) No stream cache: every gathered word pays DRAM random-access
+  // bandwidth (~half of the 4.8 words/cycle peak).
+  core::BlockingModelParams no_cache = params;
+  no_cache.variable_memory_cycles =
+      static_cast<double>(variable.mem_refs) / 2.4;
+  show("(b) gathers at DRAM random-access bandwidth (no cache):",
+       core::BlockingModel(no_cache));
+
+  // (c) The paper's regime: memory time well above kernel time.
+  core::BlockingModelParams paper_regime = params;
+  paper_regime.variable_memory_cycles = 2.5 * params.variable_kernel_cycles;
+  show("(c) paper regime (memory-bound 2.5x):",
+       core::BlockingModel(paper_regime));
+
+  std::printf(
+      "Paper: a minimum below 1.0 at a small cluster size (a few molecules\n"
+      "per cluster). Our simulated calibration is kernel-bound, so blocking\n"
+      "only pays once gathers actually miss the stream cache -- regimes (b)\n"
+      "and (c); (c) reproduces the paper's interior minimum.\n");
+  return 0;
+}

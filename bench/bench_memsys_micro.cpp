@@ -1,0 +1,96 @@
+// Micro-characterization of the simulated Merrimac memory system:
+// sequential vs. strided vs. gather bandwidth, cache reuse, and the
+// random-access penalty of Section 2.2 ("38.4 GB/s peak and roughly half
+// that of random access bandwidth").
+#include <cstdio>
+
+#include "src/mem/memsys.h"
+#include "src/util/rng.h"
+#include "src/util/table.h"
+
+using namespace smd;
+
+namespace {
+
+struct Result {
+  double words_per_cycle;
+  double gbytes;
+  double cache_hit_rate;
+};
+
+Result run_pattern(const char* /*name*/, mem::MemOpDesc desc, std::int64_t footprint) {
+  mem::GlobalMemory gmem;
+  gmem.alloc(footprint);
+  mem::MemSystemConfig cfg;
+  mem::MemSystem ms(cfg, &gmem);
+  std::vector<double> dst;
+  ms.issue(desc, &dst, nullptr);
+  while (!ms.all_done()) ms.tick();
+  Result r;
+  r.words_per_cycle = static_cast<double>(desc.total_words()) /
+                      static_cast<double>(ms.now());
+  r.gbytes = r.words_per_cycle * 8.0;  // at 1 GHz
+  r.cache_hit_rate = ms.cache_stats().hit_rate();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const std::int64_t n = 32768;
+  util::Table t({"pattern", "words/cycle", "GB/s @1GHz", "cache hit rate"});
+
+  {
+    mem::MemOpDesc d;
+    d.kind = mem::MemOpKind::kLoadStrided;
+    d.n_records = n;
+    d.record_words = 8;
+    const Result r = run_pattern("sequential", d, n * 8);
+    t.add_row({"sequential 8-word records", util::Table::num(r.words_per_cycle, 2),
+               util::Table::num(r.gbytes, 1), util::Table::percent(r.cache_hit_rate, 1)});
+  }
+  {
+    mem::MemOpDesc d;
+    d.kind = mem::MemOpKind::kLoadStrided;
+    d.n_records = n;
+    d.record_words = 1;
+    d.stride_words = 64;  // one word per cache line, 8 lines apart
+    const Result r = run_pattern("strided", d, n * 64 + 64);
+    t.add_row({"strided (1 of every 64 words)", util::Table::num(r.words_per_cycle, 2),
+               util::Table::num(r.gbytes, 1), util::Table::percent(r.cache_hit_rate, 1)});
+  }
+  {
+    util::Rng rng(7);
+    mem::MemOpDesc d;
+    d.kind = mem::MemOpKind::kLoadGather;
+    d.n_records = n;
+    d.record_words = 9;
+    const std::int64_t records = 1 << 18;  // 2.3 MWords > cache
+    for (std::int64_t i = 0; i < n; ++i) d.indices.push_back(rng.uniform_u64(records));
+    const Result r = run_pattern("gather-large", d, records * 9);
+    t.add_row({"random gather, 18 MB footprint", util::Table::num(r.words_per_cycle, 2),
+               util::Table::num(r.gbytes, 1), util::Table::percent(r.cache_hit_rate, 1)});
+  }
+  {
+    util::Rng rng(7);
+    mem::MemOpDesc d;
+    d.kind = mem::MemOpKind::kLoadGather;
+    d.n_records = n;
+    d.record_words = 9;
+    const std::int64_t records = 900;  // the paper's position array
+    for (std::int64_t i = 0; i < n; ++i) d.indices.push_back(rng.uniform_u64(records));
+    const Result r = run_pattern("gather-small", d, records * 9);
+    t.add_row({"random gather, 65 KB footprint", util::Table::num(r.words_per_cycle, 2),
+               util::Table::num(r.gbytes, 1), util::Table::percent(r.cache_hit_rate, 1)});
+  }
+
+  std::printf("== Memory system micro-characterization ==\n%s\n", t.render().c_str());
+  std::printf(
+      "expectations: a single stream op is bounded by one address generator\n"
+      "(4 words/cycle = 32 GB/s); sequential streams reach that bound;\n"
+      "sparse strides waste line bandwidth; large random gathers pay DRAM\n"
+      "row misses; cache-resident gathers run at address-generation speed.\n"
+      "Aggregate bandwidth across concurrent ops can reach the 38.4 GB/s\n"
+      "DRAM peak (both generators, all banks).\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// google-benchmark micro-benchmarks of the native (host) substrate: the
+// double-precision reference kernel, the single-precision SSE-style
+// GROMACS baseline, and the neighbor-list builders. These measure the host
+// machine, not Merrimac -- they exist to keep the scalar-side substrate
+// honest and to show the baseline kernel's real arithmetic throughput.
+#include <benchmark/benchmark.h>
+
+#include "src/baseline/gromacs_like.h"
+#include "src/core/kernels.h"
+#include "src/md/force_ref.h"
+#include "src/md/neighborlist.h"
+#include "src/md/system.h"
+
+using namespace smd;
+
+namespace {
+
+struct Fixture {
+  md::WaterSystem sys;
+  md::NeighborList list;
+  static const Fixture& get() {
+    static const Fixture f = [] {
+      md::WaterBoxOptions opts;
+      opts.n_molecules = 900;
+      Fixture fx{md::build_water_box(opts), {}};
+      fx.list = md::build_neighbor_list(fx.sys, 1.0);
+      return fx;
+    }();
+    return f;
+  }
+};
+
+void BM_ReferenceForces(benchmark::State& state) {
+  const auto& f = Fixture::get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(md::compute_forces_reference(f.sys, f.list));
+  }
+  state.counters["interactions/s"] = benchmark::Counter(
+      static_cast<double>(f.list.n_pairs()), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ReferenceForces)->Unit(benchmark::kMillisecond);
+
+void BM_SseStyleForces(benchmark::State& state) {
+  const auto& f = Fixture::get();
+  double flops = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baseline::compute_forces_sse_style(f.sys, f.list));
+    flops += static_cast<double>(f.list.n_pairs()) *
+             static_cast<double>(core::interaction_flops(f.sys.model()).flops);
+  }
+  state.counters["GFLOPS"] =
+      benchmark::Counter(flops * 1e-9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SseStyleForces)->Unit(benchmark::kMillisecond);
+
+void BM_NeighborListCells(benchmark::State& state) {
+  const auto& f = Fixture::get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(md::build_neighbor_list(f.sys, 1.0));
+  }
+}
+BENCHMARK(BM_NeighborListCells)->Unit(benchmark::kMillisecond);
+
+void BM_NeighborListBrute(benchmark::State& state) {
+  const auto& f = Fixture::get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(md::build_neighbor_list_brute(f.sys, 1.0));
+  }
+}
+BENCHMARK(BM_NeighborListBrute)->Unit(benchmark::kMillisecond);
+
+void BM_ApproxRsqrt(benchmark::State& state) {
+  float x = 1.7f;
+  for (auto _ : state) {
+    x = baseline::approx_rsqrt(x) + 1.0f;
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_ApproxRsqrt);
+
+}  // namespace
+
+BENCHMARK_MAIN();

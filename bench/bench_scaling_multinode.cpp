@@ -1,0 +1,53 @@
+// The paper's Section 1/5 "initial results of the scaling of the algorithm
+// to larger configurations of the system": strong scaling of StreamMD
+// across Merrimac nodes on the folded-Clos network, calibrated with the
+// simulated single-node `variable` run.
+#include <cstdio>
+
+#include "src/core/run.h"
+#include "src/net/multinode.h"
+#include "src/util/table.h"
+
+using namespace smd;
+
+namespace {
+
+void sweep(const char* title, const net::ScalingModel& model) {
+  util::Table t({"nodes", "compute (us)", "local mem (us)", "network (us)",
+                 "step (us)", "speedup", "efficiency", "halo frac"});
+  for (const auto& p : model.sweep({1, 2, 4, 8, 16, 32, 64})) {
+    t.add_row({std::to_string(p.nodes), util::Table::num(p.compute_s * 1e6, 1),
+               util::Table::num(p.local_mem_s * 1e6, 1),
+               util::Table::num(p.network_s * 1e6, 1),
+               util::Table::num(p.step_s * 1e6, 1),
+               util::Table::num(p.speedup, 2),
+               util::Table::percent(p.efficiency, 0),
+               util::Table::num(p.halo_fraction, 2)});
+  }
+  std::printf("%s\n%s\n", title, t.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  const core::Problem problem = core::Problem::make({});
+  const auto variable = core::run_variant(problem, core::Variant::kVariable);
+
+  net::ScalingWorkload w;
+  w.n_molecules = problem.system.n_molecules();
+  w.cutoff = problem.setup.cutoff;
+  w.flops_per_interaction = problem.flops_per_interaction;
+  w.words_per_interaction = static_cast<double>(variable.mem_refs) /
+                            static_cast<double>(variable.n_real_interactions);
+  w.cycles_per_interaction = static_cast<double>(variable.run.cycles) /
+                             static_cast<double>(variable.n_real_interactions);
+
+  std::printf("== Multi-node strong scaling (calibrated from `variable`) ==\n\n");
+  sweep("paper dataset: 900 molecules", net::ScalingModel(w, net::NetworkConfig{}));
+
+  net::ScalingWorkload big = w;
+  big.n_molecules = 115200;  // 128x larger box
+  sweep("128x larger system: 115,200 molecules",
+        net::ScalingModel(big, net::NetworkConfig{}));
+  return 0;
+}

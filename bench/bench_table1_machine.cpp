@@ -1,0 +1,12 @@
+// Reproduces paper Table 1: parameters of the simulated Merrimac node.
+#include <cstdio>
+
+#include "src/core/report.h"
+#include "src/sim/config.h"
+
+int main() {
+  const auto cfg = smd::sim::MachineConfig::merrimac();
+  std::printf("== Table 1: Merrimac parameters ==\n%s\n",
+              smd::core::format_machine_table(cfg).c_str());
+  return 0;
+}

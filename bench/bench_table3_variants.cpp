@@ -1,0 +1,10 @@
+// Reproduces paper Table 3: the StreamMD implementation variants.
+#include <cstdio>
+
+#include "src/core/report.h"
+
+int main() {
+  std::printf("== Table 3: variants of StreamMD ==\n%s\n",
+              smd::core::format_variants_table().c_str());
+  return 0;
+}

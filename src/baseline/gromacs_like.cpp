@@ -1,0 +1,100 @@
+#include "src/baseline/gromacs_like.h"
+
+#include <bit>
+#include <cstdint>
+
+#include "src/md/constants.h"
+
+namespace smd::baseline {
+
+float approx_rsqrt(float x) {
+  // 12-bit initial estimate via exponent manipulation (the classic
+  // rsqrtps-style seed), then one Newton-Raphson iteration:
+  //   y' = y * (1.5 - 0.5 * x * y * y)
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(x);
+  float y = std::bit_cast<float>(0x5f375a86u - (bits >> 1));
+  y = y * (1.5f - 0.5f * x * y * y);
+  y = y * (1.5f - 0.5f * x * y * y);  // second NR step: full single precision
+  return y;
+}
+
+md::ForceEnergy compute_forces_sse_style(const md::WaterSystem& sys,
+                                         const md::NeighborList& list) {
+  const md::WaterModel& model = sys.model();
+  md::ForceEnergy out;
+  out.force.assign(static_cast<std::size_t>(sys.n_atoms()), md::Vec3{});
+
+  // Charges and LJ parameters in single precision, as the SSE loops use.
+  const float qo = static_cast<float>(model.sites[0].charge);
+  const float qh = static_cast<float>(model.sites[1].charge);
+  const float ke = static_cast<float>(md::kCoulombFactor);
+  const float qq[3][3] = {
+      {ke * qo * qo, ke * qo * qh, ke * qo * qh},
+      {ke * qh * qo, ke * qh * qh, ke * qh * qh},
+      {ke * qh * qo, ke * qh * qh, ke * qh * qh}};
+  const float c6 = static_cast<float>(model.c6);
+  const float c12 = static_cast<float>(model.c12);
+
+  for (int i = 0; i < list.n_molecules(); ++i) {
+    // Load the central molecule once per row (the "i-water" registers).
+    float ci[9];
+    for (int s = 0; s < 3; ++s) {
+      ci[3 * s + 0] = static_cast<float>(sys.pos(i, s).x);
+      ci[3 * s + 1] = static_cast<float>(sys.pos(i, s).y);
+      ci[3 * s + 2] = static_cast<float>(sys.pos(i, s).z);
+    }
+    float fi[9] = {};
+
+    for (std::int32_t k = list.offsets[static_cast<std::size_t>(i)];
+         k < list.offsets[static_cast<std::size_t>(i) + 1]; ++k) {
+      const std::int32_t j = list.neighbors[static_cast<std::size_t>(k)];
+      const md::Vec3 shift = list.shifts[static_cast<std::size_t>(k)];
+      float cj[9];
+      for (int s = 0; s < 3; ++s) {
+        cj[3 * s + 0] = static_cast<float>(sys.pos(j, s).x + shift.x);
+        cj[3 * s + 1] = static_cast<float>(sys.pos(j, s).y + shift.y);
+        cj[3 * s + 2] = static_cast<float>(sys.pos(j, s).z + shift.z);
+      }
+      float fj[9] = {};
+
+      for (int a = 0; a < 3; ++a) {
+        for (int b = 0; b < 3; ++b) {
+          const float dx = ci[3 * a + 0] - cj[3 * b + 0];
+          const float dy = ci[3 * a + 1] - cj[3 * b + 1];
+          const float dz = ci[3 * a + 2] - cj[3 * b + 2];
+          const float r2 = dx * dx + dy * dy + dz * dz;
+          const float rinv = approx_rsqrt(r2);
+          const float rinv2 = rinv * rinv;
+          const float vc = qq[a][b] * rinv;
+          float fs = vc * rinv2;
+          out.e_coulomb += vc;
+          if (a == 0 && b == 0) {
+            const float rinv6 = rinv2 * rinv2 * rinv2;
+            const float c6t = c6 * rinv6;
+            const float c12t = c12 * rinv6 * rinv6;
+            out.e_lj += c12t - c6t;
+            fs += (12.0f * c12t - 6.0f * c6t) * rinv2;
+          }
+          const float fx = fs * dx, fy = fs * dy, fz = fs * dz;
+          fi[3 * a + 0] += fx;
+          fi[3 * a + 1] += fy;
+          fi[3 * a + 2] += fz;
+          fj[3 * b + 0] -= fx;
+          fj[3 * b + 1] -= fy;
+          fj[3 * b + 2] -= fz;
+        }
+      }
+      for (int s = 0; s < 3; ++s) {
+        out.force[static_cast<std::size_t>(3 * j + s)] +=
+            md::Vec3{fj[3 * s + 0], fj[3 * s + 1], fj[3 * s + 2]};
+      }
+    }
+    for (int s = 0; s < 3; ++s) {
+      out.force[static_cast<std::size_t>(3 * i + s)] +=
+          md::Vec3{fi[3 * s + 0], fi[3 * s + 1], fi[3 * s + 2]};
+    }
+  }
+  return out;
+}
+
+}  // namespace smd::baseline

@@ -1,0 +1,33 @@
+// GROMACS-style conventional-CPU water-water kernel.
+//
+// This is the comparison baseline of the paper's Figure 9: the
+// hand-optimized single-precision SSE water-water inner loop of GROMACS
+// 3.x on a Pentium 4. We provide (a) a faithful single-precision C++
+// implementation structured like the SSE loop -- reciprocal-square-root
+// approximation with one Newton-Raphson iteration, neighbor-list driven,
+// molecule-pair blocked -- that runs natively for functional validation
+// and host micro-benchmarks, and (b) an analytic Pentium 4 cost model
+// (p4model.h) that converts the loop's op counts into cycles on the
+// paper's 2.4 GHz, 90 nm part.
+#pragma once
+
+#include <vector>
+
+#include "src/md/force_ref.h"
+#include "src/md/neighborlist.h"
+#include "src/md/system.h"
+
+namespace smd::baseline {
+
+/// Single-precision force evaluation over a half neighbor list, structured
+/// like the GROMACS SSE water loop (rsqrt approximation + one NR step).
+/// Returns per-atom forces in double for comparison against the reference.
+md::ForceEnergy compute_forces_sse_style(const md::WaterSystem& sys,
+                                         const md::NeighborList& list);
+
+/// Fast inverse square root in single precision: hardware-style 12-bit
+/// approximation refined by one Newton-Raphson iteration (the exact
+/// structure of GROMACS's SSE invsqrt).
+float approx_rsqrt(float x);
+
+}  // namespace smd::baseline

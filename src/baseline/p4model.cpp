@@ -1,0 +1,26 @@
+#include "src/baseline/p4model.h"
+
+namespace smd::baseline {
+
+double P4Model::cycles_per_interaction(const kernel::FlopCensus& census) const {
+  // Regular (non-iterative) flops vectorize across `simd_width` molecule
+  // pairs; each SSE uop retires `simd_width` flops.
+  const double rsqrts = static_cast<double>(census.square_roots);
+  const double regular_flops =
+      static_cast<double>(census.flops) - 2.0 * rsqrts;  // rsqrt = div+sqrt
+  const double regular_uops = regular_flops / simd_width;
+  const double rsqrt_uops_total = rsqrts / simd_width * rsqrt_uops;
+  const double uops = (regular_uops + rsqrt_uops_total) * overhead_factor;
+  return uops / sse_uops_per_cycle;
+}
+
+double P4Model::interactions_per_second(const kernel::FlopCensus& census) const {
+  return clock_ghz * 1e9 / cycles_per_interaction(census);
+}
+
+double P4Model::solution_gflops(const kernel::FlopCensus& census) const {
+  return interactions_per_second(census) * static_cast<double>(census.flops) /
+         1e9;
+}
+
+}  // namespace smd::baseline

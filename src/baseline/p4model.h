@@ -1,0 +1,37 @@
+// Analytic Pentium 4 (Northwood, 2.4 GHz, 90 nm) cost model.
+//
+// The paper estimates the conventional-processor comparison point from
+// wall-clock runs of GROMACS's hand-written single-precision SSE loops.
+// We reconstruct that estimate microarchitecturally: the water-water loop
+// is 4-wide SIMD over molecule pairs; packed FP adds and multiplies both
+// issue through the P4's single FP execution port at a sustained rate of
+// about one SSE uop every two cycles; 1/sqrt(x) uses rsqrtps plus one
+// Newton-Raphson iteration; and the pack/unpack + address arithmetic of a
+// SIMD-across-pairs loop on a conventional memory system adds a constant
+// overhead factor (the paper notes Merrimac's hardware gathers eliminate
+// exactly this cost).
+#pragma once
+
+#include "src/kernel/ir.h"
+
+namespace smd::baseline {
+
+struct P4Model {
+  double clock_ghz = 2.4;
+  int simd_width = 4;              ///< single-precision SSE
+  double sse_uops_per_cycle = 0.5; ///< FP port sustained issue rate
+  double rsqrt_uops = 4.0;         ///< rsqrtps + NR (3 mul/sub ops)
+  double overhead_factor = 1.35;   ///< pack/unpack, loads, loop control
+
+  /// Cycles per molecule-pair interaction given a solution-flop census of
+  /// the interaction (flops include div+sqrt counts per the paper).
+  double cycles_per_interaction(const kernel::FlopCensus& census) const;
+
+  /// Sustained solution GFLOPS on the water-water calculation.
+  double solution_gflops(const kernel::FlopCensus& census) const;
+
+  /// Interactions per second.
+  double interactions_per_second(const kernel::FlopCensus& census) const;
+};
+
+}  // namespace smd::baseline

@@ -1,0 +1,105 @@
+// Blocking-scheme trade-off model (paper Section 5.4, Figures 11-12).
+//
+// Molecules are grouped into cubic clusters of normalized linear size x
+// (a cluster of size 1 contains exactly one molecule at liquid density).
+// The cutoff sphere of radius r_c is paved with such cubes:
+//   * computation rises -- every molecule in cubes intersecting the sphere
+//     is interacted with, adding pairs between r_c and r_c + O(x);
+//   * memory traffic falls -- positions are loaded once per cluster rather
+//     than once per neighbor-list entry, and the per-interaction index
+//     streams disappear, so bandwidth scales as O(1/x^3) toward a floor.
+//
+// Like the paper's MATLAB estimate, the model is calibrated with measured
+// kernel-busy and memory-busy cycle counts from a simulated run of the
+// `variable` scheme, and run time is the max of the (overlapped) kernel
+// and memory times.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/kernel/schedule.h"
+#include "src/md/neighborlist.h"
+#include "src/md/system.h"
+
+namespace smd::core {
+
+struct BlockingModelParams {
+  double cutoff = 1.0;            ///< r_c, nm
+  double number_density = 33.33;  ///< molecules / nm^3
+  /// Extra interaction-shell thickness in cluster edges: cluster pairs are
+  /// culled by center distance, so the average over-computation shell is
+  /// about half a cluster edge rather than the full diagonal.
+  double pave_overhead = 0.5;
+  double words_per_position = 9.0;
+  double words_per_force = 9.0;
+
+  // Calibration from a simulated run of the `variable` scheme.
+  double variable_kernel_cycles = 1.0;
+  double variable_memory_cycles = 1.0;
+  double variable_words_per_interaction = 22.0;
+  double interactions_per_molecule = 70.0;  ///< rho * (4/3) pi r_c^3 / 2
+};
+
+struct BlockingPoint {
+  double size = 0.0;           ///< normalized cluster size x
+  double molecules = 0.0;      ///< molecules per cluster (x^3)
+  double kernel_rel = 0.0;     ///< kernel cycles / variable kernel cycles
+  double memory_rel = 0.0;     ///< memory cycles / variable memory cycles
+  double time_rel = 0.0;       ///< estimated run time / variable run time
+};
+
+class BlockingModel {
+ public:
+  explicit BlockingModel(const BlockingModelParams& params) : p_(params) {}
+
+  /// Evaluate the model at one normalized cluster size x > 0.
+  BlockingPoint at(double size) const;
+
+  /// Sweep x over [lo, hi] with `n` points (Figure 11/12 curves).
+  std::vector<BlockingPoint> sweep(double lo, double hi, int n) const;
+
+  /// The sweep's run-time minimum (Figure 12's marked point).
+  BlockingPoint minimum(double lo = 0.4, double hi = 6.0, int n = 561) const;
+
+  const BlockingModelParams& params() const { return p_; }
+
+ private:
+  BlockingModelParams p_;
+};
+
+// ---------------------------------------------------------------------------
+// The blocking scheme as a SIMD-implementable design (the "future work"
+// the paper left to simulator confirmation). 16-molecule central groups,
+// cube paving with exact box-distance culling, occupancy padding, and a
+// real scheduled kernel (core::build_blocked_kernel) -- confronting the
+// analytical estimate above with what a 16-wide machine can actually do.
+// ---------------------------------------------------------------------------
+
+struct BlockedImplProfile {
+  int cells_per_dim = 0;
+  double cell_edge = 0.0;         ///< nm
+  double normalized_size = 0.0;   ///< x: cell edge in one-molecule units
+  double avg_occupancy = 0.0;
+  int max_occupancy = 0;          ///< padded neighbor slots per cell
+  int paving_cells = 0;           ///< neighbor cells per central group (k)
+  std::int64_t central_groups = 0;
+  std::int64_t computed_pairs = 0;   ///< incl. padding & out-of-cutoff
+  std::int64_t real_pairs = 0;       ///< directed pairs within the cutoff
+  double compute_inflation = 0.0;    ///< computed / real
+  double words_total = 0.0;          ///< memory words moved
+  double words_per_real_pair = 0.0;
+  double cycles_per_computed_pair = 0.0;  ///< per cluster, scheduled
+  double est_kernel_cycles = 0.0;    ///< chip level
+  double est_memory_cycles = 0.0;
+};
+
+/// Characterize a blocked implementation of the given system at a cell
+/// granularity of `cells_per_dim` per box edge.
+BlockedImplProfile profile_blocked_implementation(
+    const md::WaterSystem& sys, const md::NeighborList& half_list,
+    double cutoff, int cells_per_dim,
+    const kernel::ScheduleOptions& sched = {.unroll = 2}, int n_clusters = 16,
+    double mem_words_per_cycle = 4.0);
+
+}  // namespace smd::core

@@ -1,0 +1,207 @@
+#include "src/kernel/interp.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace smd::kernel {
+
+InterpStats& InterpStats::operator+=(const InterpStats& o) {
+  executed += o.executed;
+  lrf_refs += o.lrf_refs;
+  srf_read_words += o.srf_read_words;
+  srf_write_words += o.srf_write_words;
+  cond_accesses += o.cond_accesses;
+  cond_taken += o.cond_taken;
+  body_iterations += o.body_iterations;
+  return *this;
+}
+
+Interpreter::Interpreter(const KernelDef& def, int n_clusters)
+    : def_(def), n_clusters_(n_clusters) {
+  def_.validate();
+}
+
+namespace {
+
+struct Cursors {
+  std::vector<std::size_t> in;  // per stream slot
+};
+
+}  // namespace
+
+InterpStats Interpreter::run(const StreamBindings& bindings, std::int64_t rounds) {
+  if (bindings.inputs.size() != def_.streams.size() ||
+      bindings.outputs.size() != def_.streams.size()) {
+    throw std::runtime_error(def_.name + ": binding arity mismatch");
+  }
+
+  InterpStats stats;
+  std::vector<std::vector<double>> regs(
+      static_cast<std::size_t>(n_clusters_),
+      std::vector<double>(static_cast<std::size_t>(def_.n_regs), 0.0));
+  Cursors cur;
+  cur.in.assign(def_.streams.size(), 0);
+
+  auto exec = [&](int cluster, const std::vector<Instr>& prog) {
+    auto& r = regs[static_cast<std::size_t>(cluster)];
+    for (const auto& in : prog) {
+      switch (in.op) {
+        case Opcode::kConst:
+          r[static_cast<std::size_t>(in.dst)] = in.imm;
+          stats.lrf_refs += 1;
+          break;
+        case Opcode::kMov:
+          r[static_cast<std::size_t>(in.dst)] = r[static_cast<std::size_t>(in.a)];
+          stats.lrf_refs += 2;
+          break;
+        case Opcode::kAdd:
+          r[static_cast<std::size_t>(in.dst)] =
+              r[static_cast<std::size_t>(in.a)] + r[static_cast<std::size_t>(in.b)];
+          stats.lrf_refs += 3;
+          break;
+        case Opcode::kSub:
+          r[static_cast<std::size_t>(in.dst)] =
+              r[static_cast<std::size_t>(in.a)] - r[static_cast<std::size_t>(in.b)];
+          stats.lrf_refs += 3;
+          break;
+        case Opcode::kMul:
+          r[static_cast<std::size_t>(in.dst)] =
+              r[static_cast<std::size_t>(in.a)] * r[static_cast<std::size_t>(in.b)];
+          stats.lrf_refs += 3;
+          break;
+        case Opcode::kMadd:
+          r[static_cast<std::size_t>(in.dst)] =
+              r[static_cast<std::size_t>(in.a)] * r[static_cast<std::size_t>(in.b)] +
+              r[static_cast<std::size_t>(in.c)];
+          stats.lrf_refs += 4;
+          break;
+        case Opcode::kMsub:
+          r[static_cast<std::size_t>(in.dst)] =
+              r[static_cast<std::size_t>(in.a)] * r[static_cast<std::size_t>(in.b)] -
+              r[static_cast<std::size_t>(in.c)];
+          stats.lrf_refs += 4;
+          break;
+        case Opcode::kDiv:
+          r[static_cast<std::size_t>(in.dst)] =
+              r[static_cast<std::size_t>(in.a)] / r[static_cast<std::size_t>(in.b)];
+          stats.lrf_refs += 3;
+          break;
+        case Opcode::kSqrt:
+          r[static_cast<std::size_t>(in.dst)] =
+              std::sqrt(r[static_cast<std::size_t>(in.a)]);
+          stats.lrf_refs += 2;
+          break;
+        case Opcode::kRsqrt:
+          r[static_cast<std::size_t>(in.dst)] =
+              1.0 / std::sqrt(r[static_cast<std::size_t>(in.a)]);
+          stats.lrf_refs += 2;
+          break;
+        case Opcode::kCmpEq:
+          r[static_cast<std::size_t>(in.dst)] =
+              (r[static_cast<std::size_t>(in.a)] == r[static_cast<std::size_t>(in.b)])
+                  ? 1.0
+                  : 0.0;
+          stats.lrf_refs += 3;
+          break;
+        case Opcode::kCmpLt:
+          r[static_cast<std::size_t>(in.dst)] =
+              (r[static_cast<std::size_t>(in.a)] < r[static_cast<std::size_t>(in.b)])
+                  ? 1.0
+                  : 0.0;
+          stats.lrf_refs += 3;
+          break;
+        case Opcode::kSel:
+          r[static_cast<std::size_t>(in.dst)] =
+              (r[static_cast<std::size_t>(in.c)] != 0.0)
+                  ? r[static_cast<std::size_t>(in.a)]
+                  : r[static_cast<std::size_t>(in.b)];
+          stats.lrf_refs += 4;
+          break;
+        case Opcode::kReadBcast: {
+          // Every cluster receives the same record through the
+          // inter-cluster switch; the shared cursor advances after the
+          // last cluster has read it.
+          auto& cursor = cur.in[static_cast<std::size_t>(in.stream)];
+          const auto& src = bindings.inputs[static_cast<std::size_t>(in.stream)];
+          if (cursor + static_cast<std::size_t>(in.count) > src.size()) {
+            throw std::runtime_error(def_.name + ": input stream '" +
+                                     def_.streams[static_cast<std::size_t>(in.stream)].name +
+                                     "' exhausted");
+          }
+          for (int w = 0; w < in.count; ++w) {
+            r[static_cast<std::size_t>(in.dst + w)] = src[cursor + static_cast<std::size_t>(w)];
+          }
+          stats.lrf_refs += in.count;
+          if (cluster == n_clusters_ - 1) {
+            cursor += static_cast<std::size_t>(in.count);
+            stats.srf_read_words += in.count;  // fetched once, fanned out
+          }
+          break;
+        }
+        case Opcode::kRead:
+        case Opcode::kReadCond: {
+          const bool cond = (in.op == Opcode::kReadCond);
+          if (cond) {
+            ++stats.cond_accesses;
+            if (r[static_cast<std::size_t>(in.c)] == 0.0) break;
+            ++stats.cond_taken;
+          }
+          auto& cursor = cur.in[static_cast<std::size_t>(in.stream)];
+          const auto& src = bindings.inputs[static_cast<std::size_t>(in.stream)];
+          if (cursor + static_cast<std::size_t>(in.count) > src.size()) {
+            throw std::runtime_error(def_.name + ": input stream '" +
+                                     def_.streams[static_cast<std::size_t>(in.stream)].name +
+                                     "' exhausted");
+          }
+          for (int w = 0; w < in.count; ++w) {
+            r[static_cast<std::size_t>(in.dst + w)] = src[cursor + static_cast<std::size_t>(w)];
+          }
+          cursor += static_cast<std::size_t>(in.count);
+          stats.srf_read_words += in.count;
+          stats.lrf_refs += in.count;  // LRF writes of the loaded words
+          break;
+        }
+        case Opcode::kWrite:
+        case Opcode::kWriteCond: {
+          const bool cond = (in.op == Opcode::kWriteCond);
+          if (cond) {
+            ++stats.cond_accesses;
+            if (r[static_cast<std::size_t>(in.c)] == 0.0) break;
+            ++stats.cond_taken;
+          }
+          auto* sink = bindings.outputs[static_cast<std::size_t>(in.stream)];
+          if (sink == nullptr) {
+            throw std::runtime_error(def_.name + ": output stream not bound");
+          }
+          for (int w = 0; w < in.count; ++w) {
+            sink->push_back(r[static_cast<std::size_t>(in.a + w)]);
+          }
+          stats.srf_write_words += in.count;
+          stats.lrf_refs += in.count;  // LRF reads of the stored words
+          break;
+        }
+      }
+      // Census of executed arithmetic (stream words handled above).
+      if (in.op != Opcode::kRead && in.op != Opcode::kReadCond &&
+          in.op != Opcode::kWrite && in.op != Opcode::kWriteCond) {
+        stats.executed += instr_census(in);
+      }
+    }
+  };
+
+  for (int c = 0; c < n_clusters_; ++c) exec(c, def_.prologue);
+  for (std::int64_t round = 0; round < rounds; ++round) {
+    for (int c = 0; c < n_clusters_; ++c) exec(c, def_.outer_pre);
+    for (int l = 0; l < def_.block_len; ++l) {
+      for (int c = 0; c < n_clusters_; ++c) exec(c, def_.body);
+      stats.body_iterations += n_clusters_;
+    }
+    for (int c = 0; c < n_clusters_; ++c) exec(c, def_.outer_post);
+  }
+  // Stream words are tallied during execution; fold them into the census.
+  stats.executed.words_read = stats.srf_read_words;
+  stats.executed.words_written = stats.srf_write_words;
+  return stats;
+}
+
+}  // namespace smd::kernel

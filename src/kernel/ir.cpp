@@ -1,0 +1,335 @@
+#include "src/kernel/ir.h"
+
+#include <stdexcept>
+
+namespace smd::kernel {
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kConst: return "CONST";
+    case Opcode::kMov: return "MOV";
+    case Opcode::kAdd: return "ADD";
+    case Opcode::kSub: return "SUB";
+    case Opcode::kMul: return "MUL";
+    case Opcode::kMadd: return "MADD";
+    case Opcode::kMsub: return "MSUB";
+    case Opcode::kDiv: return "DIV";
+    case Opcode::kSqrt: return "SQRT";
+    case Opcode::kRsqrt: return "RSQRT";
+    case Opcode::kCmpEq: return "CMPEQ";
+    case Opcode::kCmpLt: return "CMPLT";
+    case Opcode::kSel: return "SEL";
+    case Opcode::kRead: return "READ";
+    case Opcode::kReadCond: return "READC";
+    case Opcode::kReadBcast: return "READB";
+    case Opcode::kWrite: return "WRITE";
+    case Opcode::kWriteCond: return "WRITEC";
+  }
+  return "?";
+}
+
+FlopCensus& FlopCensus::operator+=(const FlopCensus& o) {
+  flops += o.flops;
+  divides += o.divides;
+  square_roots += o.square_roots;
+  fpu_ops += o.fpu_ops;
+  words_read += o.words_read;
+  words_written += o.words_written;
+  return *this;
+}
+
+FlopCensus instr_census(const Instr& in) {
+  FlopCensus c;
+  switch (in.op) {
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+      c.flops = 1;
+      c.fpu_ops = 1;
+      break;
+    case Opcode::kMadd:
+    case Opcode::kMsub:
+      c.flops = 2;
+      c.fpu_ops = 1;
+      break;
+    case Opcode::kDiv:
+      c.flops = 1;
+      c.divides = 1;
+      c.fpu_ops = 1;
+      break;
+    case Opcode::kSqrt:
+      c.flops = 1;
+      c.square_roots = 1;
+      c.fpu_ops = 1;
+      break;
+    case Opcode::kRsqrt:
+      // Paper convention: rinv = 1/sqrt(r2) is "1 divide + 1 square root".
+      c.flops = 2;
+      c.divides = 1;
+      c.square_roots = 1;
+      c.fpu_ops = 1;
+      break;
+    case Opcode::kCmpEq:
+    case Opcode::kCmpLt:
+    case Opcode::kSel:
+      // Not counted as solution flops, but they occupy FPU issue slots.
+      c.fpu_ops = 1;
+      break;
+    case Opcode::kConst:
+    case Opcode::kMov:
+      break;  // handled by the cluster switch / preloaded constants
+    case Opcode::kRead:
+    case Opcode::kReadCond:
+    case Opcode::kReadBcast:
+      // For kReadBcast this is the per-iteration SRF traffic; the record
+      // is fanned out to all clusters by the switch, not re-read.
+      c.words_read = in.count;
+      break;
+    case Opcode::kWrite:
+    case Opcode::kWriteCond:
+      c.words_written = in.count;
+      break;
+  }
+  return c;
+}
+
+namespace {
+
+FlopCensus census_of(const std::vector<Instr>& prog) {
+  FlopCensus c;
+  for (const auto& in : prog) c += instr_census(in);
+  return c;
+}
+
+}  // namespace
+
+FlopCensus KernelDef::body_census() const { return census_of(body); }
+
+FlopCensus KernelDef::outer_census() const {
+  FlopCensus c = census_of(outer_pre);
+  c += census_of(outer_post);
+  return c;
+}
+
+void KernelDef::validate() const {
+  auto check_reg = [&](int r, const char* what) {
+    if (r < 0 || r >= n_regs) {
+      throw std::runtime_error(name + ": register out of range (" + what + ")");
+    }
+  };
+  auto check_prog = [&](const std::vector<Instr>& prog) {
+    for (const auto& in : prog) {
+      switch (in.op) {
+        case Opcode::kConst:
+          check_reg(in.dst, "const dst");
+          break;
+        case Opcode::kMov:
+        case Opcode::kSqrt:
+        case Opcode::kRsqrt:
+          check_reg(in.dst, "dst");
+          check_reg(in.a, "a");
+          break;
+        case Opcode::kAdd:
+        case Opcode::kSub:
+        case Opcode::kMul:
+        case Opcode::kDiv:
+        case Opcode::kCmpEq:
+        case Opcode::kCmpLt:
+          check_reg(in.dst, "dst");
+          check_reg(in.a, "a");
+          check_reg(in.b, "b");
+          break;
+        case Opcode::kMadd:
+        case Opcode::kMsub:
+        case Opcode::kSel:
+          check_reg(in.dst, "dst");
+          check_reg(in.a, "a");
+          check_reg(in.b, "b");
+          check_reg(in.c, "c");
+          break;
+        case Opcode::kRead:
+        case Opcode::kReadCond:
+        case Opcode::kReadBcast: {
+          if (in.stream < 0 || in.stream >= static_cast<int>(streams.size()))
+            throw std::runtime_error(name + ": bad stream slot");
+          const auto& s = streams[static_cast<std::size_t>(in.stream)];
+          if (s.dir != StreamDir::kIn)
+            throw std::runtime_error(name + ": read of output stream " + s.name);
+          if (in.count <= 0) throw std::runtime_error(name + ": read count");
+          check_reg(in.dst, "read base");
+          check_reg(in.dst + in.count - 1, "read end");
+          if (in.op == Opcode::kReadCond) check_reg(in.c, "read pred");
+          break;
+        }
+        case Opcode::kWrite:
+        case Opcode::kWriteCond: {
+          if (in.stream < 0 || in.stream >= static_cast<int>(streams.size()))
+            throw std::runtime_error(name + ": bad stream slot");
+          const auto& s = streams[static_cast<std::size_t>(in.stream)];
+          if (s.dir != StreamDir::kOut)
+            throw std::runtime_error(name + ": write of input stream " + s.name);
+          if (in.count <= 0) throw std::runtime_error(name + ": write count");
+          check_reg(in.a, "write base");
+          check_reg(in.a + in.count - 1, "write end");
+          if (in.op == Opcode::kWriteCond) check_reg(in.c, "write pred");
+          break;
+        }
+      }
+    }
+  };
+  check_prog(prologue);
+  check_prog(outer_pre);
+  check_prog(body);
+  check_prog(outer_post);
+  if (block_len < 1) throw std::runtime_error(name + ": block_len < 1");
+  // Broadcast cursor bookkeeping supports one access per stream per body.
+  std::vector<int> bcasts(streams.size(), 0);
+  for (const auto& in : body) {
+    if (in.op == Opcode::kReadBcast &&
+        ++bcasts[static_cast<std::size_t>(in.stream)] > 1) {
+      throw std::runtime_error(name + ": multiple broadcast reads of one stream");
+    }
+  }
+}
+
+KernelBuilder::KernelBuilder(std::string name) { def_.name = std::move(name); }
+
+int KernelBuilder::stream_in(const std::string& name, int record_words,
+                             bool conditional) {
+  def_.streams.push_back({name, StreamDir::kIn, record_words, conditional});
+  return static_cast<int>(def_.streams.size()) - 1;
+}
+
+int KernelBuilder::stream_out(const std::string& name, int record_words,
+                              bool conditional) {
+  def_.streams.push_back({name, StreamDir::kOut, record_words, conditional});
+  return static_cast<int>(def_.streams.size()) - 1;
+}
+
+void KernelBuilder::block_len(int l) { def_.block_len = l; }
+
+KernelBuilder::Reg KernelBuilder::alloc() { return {def_.n_regs++}; }
+
+std::vector<KernelBuilder::Reg> KernelBuilder::alloc_n(int n) {
+  std::vector<Reg> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) v.push_back(alloc());
+  return v;
+}
+
+void KernelBuilder::emit(Instr in) {
+  switch (section_) {
+    case Section::kPrologue: def_.prologue.push_back(in); break;
+    case Section::kOuterPre: def_.outer_pre.push_back(in); break;
+    case Section::kBody: def_.body.push_back(in); break;
+    case Section::kOuterPost: def_.outer_post.push_back(in); break;
+  }
+}
+
+KernelBuilder::Reg KernelBuilder::constant(double v) {
+  Reg r = alloc();
+  emit({.op = Opcode::kConst, .dst = r.idx, .imm = v});
+  return r;
+}
+
+KernelBuilder::Reg KernelBuilder::mov(Reg a) {
+  Reg r = alloc();
+  mov_to(r, a);
+  return r;
+}
+
+void KernelBuilder::mov_to(Reg dst, Reg a) {
+  emit({.op = Opcode::kMov, .dst = dst.idx, .a = a.idx});
+}
+
+#define SMD_BINOP(fn, opc)                                  \
+  KernelBuilder::Reg KernelBuilder::fn(Reg a, Reg b) {      \
+    Reg r = alloc();                                        \
+    emit({.op = Opcode::opc, .dst = r.idx, .a = a.idx, .b = b.idx}); \
+    return r;                                               \
+  }
+
+SMD_BINOP(add, kAdd)
+SMD_BINOP(sub, kSub)
+SMD_BINOP(mul, kMul)
+SMD_BINOP(div, kDiv)
+SMD_BINOP(cmp_eq, kCmpEq)
+SMD_BINOP(cmp_lt, kCmpLt)
+#undef SMD_BINOP
+
+void KernelBuilder::add_to(Reg dst, Reg a, Reg b) {
+  emit({.op = Opcode::kAdd, .dst = dst.idx, .a = a.idx, .b = b.idx});
+}
+
+KernelBuilder::Reg KernelBuilder::madd(Reg a, Reg b, Reg c) {
+  Reg r = alloc();
+  madd_to(r, a, b, c);
+  return r;
+}
+
+void KernelBuilder::madd_to(Reg dst, Reg a, Reg b, Reg c) {
+  emit({.op = Opcode::kMadd, .dst = dst.idx, .a = a.idx, .b = b.idx, .c = c.idx});
+}
+
+KernelBuilder::Reg KernelBuilder::msub(Reg a, Reg b, Reg c) {
+  Reg r = alloc();
+  emit({.op = Opcode::kMsub, .dst = r.idx, .a = a.idx, .b = b.idx, .c = c.idx});
+  return r;
+}
+
+KernelBuilder::Reg KernelBuilder::sqrt(Reg a) {
+  Reg r = alloc();
+  emit({.op = Opcode::kSqrt, .dst = r.idx, .a = a.idx});
+  return r;
+}
+
+KernelBuilder::Reg KernelBuilder::rsqrt(Reg a) {
+  Reg r = alloc();
+  emit({.op = Opcode::kRsqrt, .dst = r.idx, .a = a.idx});
+  return r;
+}
+
+KernelBuilder::Reg KernelBuilder::sel(Reg pred, Reg a, Reg b) {
+  Reg r = alloc();
+  sel_to(r, pred, a, b);
+  return r;
+}
+
+void KernelBuilder::sel_to(Reg dst, Reg pred, Reg a, Reg b) {
+  emit({.op = Opcode::kSel, .dst = dst.idx, .a = a.idx, .b = b.idx, .c = pred.idx});
+}
+
+std::vector<KernelBuilder::Reg> KernelBuilder::read(int stream, int n) {
+  auto regs = alloc_n(n);
+  read_to(stream, regs.front(), n);
+  return regs;
+}
+
+void KernelBuilder::read_to(int stream, Reg base, int n) {
+  emit({.op = Opcode::kRead, .dst = base.idx, .stream = stream, .count = n});
+}
+
+void KernelBuilder::read_cond_to(int stream, Reg base, int n, Reg pred) {
+  emit({.op = Opcode::kReadCond, .dst = base.idx, .c = pred.idx,
+        .stream = stream, .count = n});
+}
+
+void KernelBuilder::read_bcast_to(int stream, Reg base, int n) {
+  emit({.op = Opcode::kReadBcast, .dst = base.idx, .stream = stream, .count = n});
+}
+
+void KernelBuilder::write(int stream, Reg base, int n) {
+  emit({.op = Opcode::kWrite, .a = base.idx, .stream = stream, .count = n});
+}
+
+void KernelBuilder::write_cond(int stream, Reg base, int n, Reg pred) {
+  emit({.op = Opcode::kWriteCond, .a = base.idx, .c = pred.idx,
+        .stream = stream, .count = n});
+}
+
+KernelDef KernelBuilder::build() {
+  def_.validate();
+  return def_;
+}
+
+}  // namespace smd::kernel

@@ -1,0 +1,185 @@
+// Stream-kernel intermediate representation.
+//
+// Merrimac kernels are VLIW programs running in SIMD lockstep on 16
+// arithmetic clusters, reading/writing sequential streams held in the SRF.
+// We model a kernel as a small register-machine program over per-cluster
+// registers (the LRF) with explicit stream accesses, in four sections:
+//
+//   prologue   -- once per kernel invocation (constants, accumulator init)
+//   outer_pre  -- once per block of `block_len` iterations (e.g. read a new
+//                 central molecule in the `fixed` variant)
+//   body       -- once per iteration (the interaction computation)
+//   outer_post -- once per block, after its last body iteration (e.g. write
+//                 the reduced central force)
+//
+// The same instruction list serves two purposes:
+//   * the functional interpreter (interp.h) executes it per cluster and
+//     produces bit-accurate double-precision results, including conditional
+//     stream semantics, and
+//   * the VLIW scheduler (schedule.h) builds its dependence graph from it
+//     and derives cycles/iteration, slot occupancy and issue rate.
+//
+// Conditional stream accesses (READ_COND/WRITE_COND) model Merrimac's
+// conditional-streams mechanism: every cluster issues the access on every
+// iteration (SIMD-legal) but only clusters whose predicate is non-zero
+// consume/produce an element; the inter-cluster switch compacts the stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smd::kernel {
+
+enum class Opcode : std::uint8_t {
+  kConst,     // dst = imm
+  kMov,       // dst = a
+  kAdd,       // dst = a + b
+  kSub,       // dst = a - b
+  kMul,       // dst = a * b
+  kMadd,      // dst = a * b + c
+  kMsub,      // dst = a * b - c
+  kDiv,       // dst = a / b        (iterative on the MADD units)
+  kSqrt,      // dst = sqrt(a)      (iterative)
+  kRsqrt,     // dst = 1/sqrt(a)    (iterative; counts as div+sqrt flops)
+  kCmpEq,     // dst = (a == b) ? 1.0 : 0.0
+  kCmpLt,     // dst = (a < b)  ? 1.0 : 0.0
+  kSel,       // dst = (c != 0) ? a : b
+  kRead,      // regs[dst..dst+count) = next `count` words of stream
+  kReadCond,  // as kRead but only when (c != 0); else dst regs unchanged
+  kReadBcast, // all clusters read the SAME next record (inter-cluster
+              // switch broadcast); the cursor advances once per iteration
+  kWrite,     // append regs[a..a+count) to stream
+  kWriteCond, // as kWrite but only when (c != 0)
+};
+
+const char* opcode_name(Opcode op);
+
+/// One IR instruction. Field use depends on the opcode; unused fields -1/0.
+struct Instr {
+  Opcode op;
+  int dst = -1;     ///< destination register (base register for kRead*)
+  int a = -1;       ///< source register (base register for kWrite*)
+  int b = -1;       ///< second source
+  int c = -1;       ///< third source / predicate register
+  int stream = -1;  ///< stream slot for stream ops
+  int count = 0;    ///< word count for stream ops
+  double imm = 0.0; ///< immediate for kConst
+};
+
+/// Direction of a stream slot as seen by the kernel.
+enum class StreamDir : std::uint8_t { kIn, kOut };
+
+/// Declaration of a stream slot referenced by the kernel.
+struct StreamDecl {
+  std::string name;
+  StreamDir dir;
+  int record_words;    ///< words accessed per (taken) access
+  bool conditional;    ///< accessed via conditional-stream mechanism
+};
+
+/// Sections of a kernel program.
+enum class Section : std::uint8_t { kPrologue, kOuterPre, kBody, kOuterPost };
+
+/// Floating-point-operation census in the paper's counting convention
+/// (divide = 1 flop, square root = 1 flop, rsqrt = 1 div + 1 sqrt = 2).
+struct FlopCensus {
+  std::int64_t flops = 0;
+  std::int64_t divides = 0;
+  std::int64_t square_roots = 0;
+  std::int64_t fpu_ops = 0;       ///< schedulable FPU instructions
+  std::int64_t words_read = 0;    ///< max stream words read (uncond + cond)
+  std::int64_t words_written = 0;
+
+  FlopCensus& operator+=(const FlopCensus& o);
+};
+
+/// A complete kernel definition.
+struct KernelDef {
+  std::string name;
+  int n_regs = 0;
+  int block_len = 1;  ///< body iterations per outer block (L); 1 = no blocks
+  std::vector<StreamDecl> streams;
+  std::vector<Instr> prologue;
+  std::vector<Instr> outer_pre;
+  std::vector<Instr> body;
+  std::vector<Instr> outer_post;
+
+  /// Census of one body iteration (conditional accesses counted as taken).
+  FlopCensus body_census() const;
+  /// Census of one outer_pre + outer_post pass.
+  FlopCensus outer_census() const;
+
+  /// Structural validation: register indices in range, stream slots match
+  /// declarations and directions, counts positive. Throws on violation.
+  void validate() const;
+};
+
+/// Census of a single instruction.
+FlopCensus instr_census(const Instr& in);
+
+/// Builder with a tiny typed register handle, to keep kernel construction
+/// readable in core/kernels.cpp.
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(std::string name);
+
+  /// Register handle.
+  struct Reg {
+    int idx = -1;
+  };
+
+  /// Declare a stream slot; returns its index.
+  int stream_in(const std::string& name, int record_words, bool conditional = false);
+  int stream_out(const std::string& name, int record_words, bool conditional = false);
+
+  /// Select the section subsequent emissions go to.
+  void section(Section s) { section_ = s; }
+
+  /// Set body iterations per block.
+  void block_len(int l);
+
+  Reg alloc();                      ///< allocate an uninitialized register
+  std::vector<Reg> alloc_n(int n);  ///< allocate n consecutive registers
+
+  Reg constant(double v);  ///< emits kConst into the *current* section
+  Reg mov(Reg a);
+  void mov_to(Reg dst, Reg a);
+  Reg add(Reg a, Reg b);
+  void add_to(Reg dst, Reg a, Reg b);
+  Reg sub(Reg a, Reg b);
+  Reg mul(Reg a, Reg b);
+  Reg madd(Reg a, Reg b, Reg c);
+  void madd_to(Reg dst, Reg a, Reg b, Reg c);
+  Reg msub(Reg a, Reg b, Reg c);
+  Reg div(Reg a, Reg b);
+  Reg sqrt(Reg a);
+  Reg rsqrt(Reg a);
+  Reg cmp_eq(Reg a, Reg b);
+  Reg cmp_lt(Reg a, Reg b);
+  Reg sel(Reg pred, Reg a, Reg b);
+  void sel_to(Reg dst, Reg pred, Reg a, Reg b);
+
+  /// Read `n` words from stream into `n` fresh consecutive registers.
+  std::vector<Reg> read(int stream, int n);
+  /// Read into existing consecutive registers starting at base.
+  void read_to(int stream, Reg base, int n);
+  /// Conditional read into existing registers (unchanged when not taken).
+  void read_cond_to(int stream, Reg base, int n, Reg pred);
+  /// Broadcast read: every cluster receives the same record via the
+  /// inter-cluster switch; at most one per stream per body.
+  void read_bcast_to(int stream, Reg base, int n);
+  /// Write `n` consecutive registers starting at base.
+  void write(int stream, Reg base, int n);
+  void write_cond(int stream, Reg base, int n, Reg pred);
+
+  /// Finalize; validates the kernel.
+  KernelDef build();
+
+ private:
+  void emit(Instr in);
+  KernelDef def_;
+  Section section_ = Section::kBody;
+};
+
+}  // namespace smd::kernel

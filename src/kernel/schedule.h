@@ -1,0 +1,75 @@
+// VLIW kernel scheduling for a Merrimac arithmetic cluster.
+//
+// Models the "communication scheduling" stage of the Merrimac compiler
+// (Section 5.1 / Figure 10): the kernel body is scheduled onto the
+// cluster's 4 FPU issue slots per cycle, the SRF port (4 words/cycle) and
+// the conditional-stream access unit, in two modes:
+//
+//  * unoptimized -- plain resource-constrained list scheduling; loop
+//    iterations do not overlap (cycles/iteration = schedule depth);
+//  * optimized   -- loop unrolling by a factor U plus modulo (software-
+//    pipelined) scheduling; steady-state cost is the initiation interval
+//    II, i.e. II/U cycles per original iteration.
+//
+// The scheduler is exact about resource reservations (multi-slot iterative
+// ops reserve consecutive cycles on one FPU; stream transfers reserve SRF
+// port words over consecutive cycles) and conservative about dependences
+// (true, anti and output register dependences plus same-stream ordering).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/kernel/cost.h"
+#include "src/kernel/ir.h"
+
+namespace smd::kernel {
+
+struct ScheduleOptions {
+  int n_fpus = 4;
+  int srf_words_per_cycle = 4;
+  int cond_units = 1;
+  int unroll = 1;                 ///< body unroll factor
+  bool software_pipeline = true;  ///< modulo schedule vs. plain list schedule
+  int max_ii = 4096;              ///< give-up bound
+};
+
+/// Placement of one (possibly unrolled) body instruction.
+struct ScheduledOp {
+  int instr = 0;   ///< index into the original body
+  int copy = 0;    ///< unroll copy
+  int cycle = 0;   ///< issue cycle (modulo II in pipelined mode)
+  int fpu = -1;    ///< FPU column, -1 for non-FPU ops
+  Opcode op = Opcode::kMov;
+};
+
+/// Result of scheduling a kernel body.
+struct Schedule {
+  int ii = 0;              ///< steady-state cycles per *unrolled* body
+  int unroll = 1;
+  int depth = 0;           ///< schedule length of one unrolled body instance
+  int fpu_slot_cycles = 0; ///< FPU slot-cycles consumed per unrolled body
+  double fpu_occupancy = 0.0;  ///< fpu_slot_cycles / (n_fpus * ii)
+  double issue_rate = 0.0;     ///< fraction of II cycles issuing >= 1 op
+  bool pipelined = false;
+  std::vector<ScheduledOp> ops;
+
+  /// Steady-state cycles per original body iteration.
+  double cycles_per_iteration() const {
+    return static_cast<double>(ii) / static_cast<double>(unroll);
+  }
+
+  /// Figure 10 style rendering: one row per cycle, one column per FPU;
+  /// continuation cycles of iterative ops shown as '|'.
+  std::string ascii(int max_rows = 0) const;
+};
+
+/// Schedule the body of a kernel.
+Schedule schedule_body(const KernelDef& def, const ScheduleOptions& opts);
+
+/// Resource-constrained list-schedule length of an arbitrary straight-line
+/// program (used for outer_pre/outer_post and prologue costs).
+int straightline_cycles(const std::vector<Instr>& prog,
+                        const ScheduleOptions& opts);
+
+}  // namespace smd::kernel

@@ -1,0 +1,23 @@
+// Physical constants in GROMACS-style MD units:
+//   length nm, time ps, energy kJ/mol, mass u (g/mol), charge e.
+#pragma once
+
+namespace smd::md {
+
+/// Coulomb conversion factor 1/(4*pi*eps0) in kJ mol^-1 nm e^-2.
+inline constexpr double kCoulombFactor = 138.935458;
+
+/// Boltzmann constant in kJ mol^-1 K^-1.
+inline constexpr double kBoltzmann = 0.00831446;
+
+/// 1 e*nm expressed in Debye (for dipole-moment reporting).
+inline constexpr double kDebyePerENm = 48.0321;
+
+/// Liquid water number density at ~300K, molecules per nm^3.
+inline constexpr double kWaterNumberDensity = 33.33;
+
+/// Atomic masses (u).
+inline constexpr double kMassO = 15.99940;
+inline constexpr double kMassH = 1.00794;
+
+}  // namespace smd::md

@@ -1,0 +1,63 @@
+// Reference (ground-truth) water-water non-bonded force evaluation.
+//
+// This is the plain, obviously-correct C++ implementation of the GROMACS
+// water-water inner loop (Equation 1 of the paper): for every molecule pair
+// in the neighbor list, all 9 atom-atom Coulomb interactions plus the O-O
+// Lennard-Jones term. Every StreamMD variant is validated against these
+// forces, and the flop census here defines "solution flops" for the
+// GFLOPS accounting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/md/neighborlist.h"
+#include "src/md/system.h"
+#include "src/md/vec3.h"
+
+namespace smd::md {
+
+/// Result of a force evaluation.
+struct ForceEnergy {
+  std::vector<Vec3> force;  ///< per atom, kJ mol^-1 nm^-1
+  double e_coulomb = 0.0;   ///< kJ/mol
+  double e_lj = 0.0;        ///< kJ/mol
+  double virial = 0.0;      ///< sum r.F over pairs (for pressure)
+
+  double e_potential() const { return e_coulomb + e_lj; }
+};
+
+/// Per-molecule-pair floating-point operation census, in the paper's
+/// counting convention: a divide is 1 flop, a square root is 1 flop
+/// (Section 3: "each interaction requires ~234 floating-point operations
+/// including 9 divides and 9 square roots").
+struct InteractionFlops {
+  int total = 0;
+  int divides = 0;
+  int square_roots = 0;
+  int multiplies = 0;
+  int adds = 0;  ///< additions + subtractions
+};
+
+/// Flop census of one water-water molecule-pair interaction.
+InteractionFlops interaction_flop_census();
+
+/// Evaluate forces and energies over a half neighbor list.
+ForceEnergy compute_forces_reference(const WaterSystem& sys,
+                                     const NeighborList& list);
+
+/// Force/energy contribution of a single molecule pair, accumulated into
+/// f_central[0..2] and f_neighbor[0..2]. `shift` is added to the neighbor's
+/// coordinates (minimum image). Returns {e_coulomb, e_lj}.
+struct PairEnergy {
+  double coulomb;
+  double lj;
+};
+PairEnergy water_water_interaction(const WaterSystem& sys, int central,
+                                   int neighbor, const Vec3& shift,
+                                   Vec3 f_central[3], Vec3 f_neighbor[3]);
+
+/// Maximum per-atom relative force error between two force sets.
+double max_force_rel_err(const std::vector<Vec3>& a, const std::vector<Vec3>& b);
+
+}  // namespace smd::md

@@ -1,0 +1,137 @@
+#include "src/md/integrator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace smd::md {
+
+LeapfrogIntegrator::LeapfrogIntegrator(WaterSystem& sys, ForceFn force_fn,
+                                       IntegratorOptions opts)
+    : sys_(sys), force_fn_(std::move(force_fn)), opts_(opts) {
+  const auto& sites = sys.model().sites;
+  d_oh_ = (sites[1].local_pos - sites[0].local_pos).norm();
+  d_hh_ = (sites[2].local_pos - sites[1].local_pos).norm();
+}
+
+void LeapfrogIntegrator::shake(const std::vector<Vec3>& ref_pos) {
+  // Constraint triples per molecule: (O,H1,dOH), (O,H2,dOH), (H1,H2,dHH).
+  struct C {
+    int a, b;
+    double d;
+  };
+  const C cons[3] = {{0, 1, d_oh_}, {0, 2, d_oh_}, {1, 2, d_hh_}};
+
+  const double dt2 = opts_.dt * opts_.dt;
+  for (int m = 0; m < sys_.n_molecules(); ++m) {
+    for (int iter = 0; iter < opts_.shake_max_iter; ++iter) {
+      double worst = 0.0;
+      for (const C& c : cons) {
+        const int ia = 3 * m + c.a;
+        const int ib = 3 * m + c.b;
+        const double ma = sys_.site_mass(c.a);
+        const double mb = sys_.site_mass(c.b);
+        Vec3 d = sys_.pos(ia) - sys_.pos(ib);
+        const double diff = d.norm2() - c.d * c.d;
+        worst = std::max(worst, std::fabs(diff) / (c.d * c.d));
+        if (std::fabs(diff) < opts_.shake_tol * c.d * c.d) continue;
+        // Classic SHAKE update along the pre-step bond direction.
+        const Vec3 rd = ref_pos[static_cast<std::size_t>(ia)] -
+                        ref_pos[static_cast<std::size_t>(ib)];
+        const double denom = 2.0 * (1.0 / ma + 1.0 / mb) * rd.dot(d);
+        if (std::fabs(denom) < 1e-30) continue;
+        const double g = diff / denom;
+        sys_.pos(ia) -= rd * (g / ma);
+        sys_.pos(ib) += rd * (g / mb);
+        // Propagate the correction into velocities (leapfrog convention).
+        sys_.vel(ia) -= rd * (g / (ma * opts_.dt));
+        sys_.vel(ib) += rd * (g / (mb * opts_.dt));
+        (void)dt2;
+      }
+      if (worst < opts_.shake_tol) break;
+    }
+  }
+}
+
+void LeapfrogIntegrator::apply_constraints_to_positions() {
+  // Project positions onto the constraint manifold without touching
+  // velocities: iterate simple pairwise corrections.
+  struct C {
+    int a, b;
+    double d;
+  };
+  const C cons[3] = {{0, 1, d_oh_}, {0, 2, d_oh_}, {1, 2, d_hh_}};
+  for (int m = 0; m < sys_.n_molecules(); ++m) {
+    for (int iter = 0; iter < opts_.shake_max_iter; ++iter) {
+      double worst = 0.0;
+      for (const C& c : cons) {
+        const int ia = 3 * m + c.a;
+        const int ib = 3 * m + c.b;
+        Vec3 d = sys_.pos(ia) - sys_.pos(ib);
+        const double len = d.norm();
+        worst = std::max(worst, std::fabs(len - c.d) / c.d);
+        const double ma = sys_.site_mass(c.a);
+        const double mb = sys_.site_mass(c.b);
+        const double wa = (1.0 / ma) / (1.0 / ma + 1.0 / mb);
+        const double wb = 1.0 - wa;
+        const Vec3 corr = d * ((len - c.d) / len);
+        sys_.pos(ia) -= corr * wa;
+        sys_.pos(ib) += corr * wb;
+      }
+      if (worst < opts_.shake_tol) break;
+    }
+  }
+}
+
+ForceEnergy LeapfrogIntegrator::step() {
+  ForceEnergy fe = force_fn_(sys_);
+  if (fe.force.size() != static_cast<std::size_t>(sys_.n_atoms())) {
+    throw std::runtime_error("force provider returned wrong atom count");
+  }
+
+  std::vector<Vec3> ref_pos = sys_.positions();
+
+  for (int a = 0; a < sys_.n_atoms(); ++a) {
+    const double inv_m = 1.0 / sys_.site_mass(a % 3);
+    sys_.vel(a) += fe.force[static_cast<std::size_t>(a)] * (opts_.dt * inv_m);
+    sys_.pos(a) += sys_.vel(a) * opts_.dt;
+  }
+  shake(ref_pos);
+  return fe;
+}
+
+ForceEnergy LeapfrogIntegrator::run(int n_steps) {
+  ForceEnergy last;
+  for (int i = 0; i < n_steps; ++i) last = step();
+  return last;
+}
+
+double minimize_energy(WaterSystem& sys,
+                       const LeapfrogIntegrator::ForceFn& force_fn, int steps,
+                       double max_displacement) {
+  LeapfrogIntegrator constraints(sys, force_fn);
+  double energy = force_fn(sys).e_potential();
+  double step_size = max_displacement;
+  for (int it = 0; it < steps; ++it) {
+    const ForceEnergy fe = force_fn(sys);
+    double fmax = 1e-30;
+    for (const auto& f : fe.force) fmax = std::max(fmax, f.norm());
+    const std::vector<Vec3> backup = sys.positions();
+    const double scale = step_size / fmax;
+    for (int a = 0; a < sys.n_atoms(); ++a) {
+      sys.pos(a) += fe.force[static_cast<std::size_t>(a)] * scale;
+    }
+    constraints.apply_constraints_to_positions();
+    const double trial = force_fn(sys).e_potential();
+    if (trial < energy) {
+      energy = trial;
+      step_size = std::min(step_size * 1.2, max_displacement * 4);
+    } else {
+      sys.positions() = backup;  // reject and shrink
+      step_size *= 0.5;
+      if (step_size < 1e-6) break;
+    }
+  }
+  return energy;
+}
+
+}  // namespace smd::md

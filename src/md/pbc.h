@@ -1,0 +1,52 @@
+// Orthorhombic periodic boundary conditions.
+//
+// GROMACS applies periodic boundary handling at molecule granularity using a
+// catalogue of shift vectors; StreamMD carries the per-pair shift in the
+// interaction record (the paper's 9-word "periodic boundary conditions"
+// field). This header provides minimum-image shifts at that granularity.
+#pragma once
+
+#include <cmath>
+
+#include "src/md/vec3.h"
+
+namespace smd::md {
+
+/// Orthorhombic box [0,Lx) x [0,Ly) x [0,Lz).
+struct Box {
+  Vec3 length;
+
+  constexpr Box() = default;
+  constexpr explicit Box(double cubic) : length(cubic, cubic, cubic) {}
+  constexpr Box(double lx, double ly, double lz) : length(lx, ly, lz) {}
+
+  constexpr double volume() const { return length.x * length.y * length.z; }
+
+  /// Wrap a position into the primary cell.
+  Vec3 wrap(Vec3 p) const {
+    p.x -= length.x * std::floor(p.x / length.x);
+    p.y -= length.y * std::floor(p.y / length.y);
+    p.z -= length.z * std::floor(p.z / length.z);
+    return p;
+  }
+
+  /// Shift vector s such that (b + s) is the minimum image of b relative
+  /// to a, i.e. a - (b + s) has every component in [-L/2, L/2).
+  Vec3 min_image_shift(const Vec3& a, const Vec3& b) const {
+    Vec3 d = a - b;
+    return {length.x * std::round(d.x / length.x),
+            length.y * std::round(d.y / length.y),
+            length.z * std::round(d.z / length.z)};
+  }
+
+  /// Minimum-image displacement a - b.
+  Vec3 min_image(const Vec3& a, const Vec3& b) const {
+    Vec3 d = a - b;
+    d.x -= length.x * std::round(d.x / length.x);
+    d.y -= length.y * std::round(d.y / length.y);
+    d.z -= length.z * std::round(d.z / length.z);
+    return d;
+  }
+};
+
+}  // namespace smd::md

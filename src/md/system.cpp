@@ -1,0 +1,119 @@
+#include "src/md/system.h"
+
+#include <cmath>
+
+#include "src/md/constants.h"
+#include "src/util/rng.h"
+
+namespace smd::md {
+namespace {
+
+/// Rotation matrix from a uniformly random unit quaternion.
+struct Rot {
+  double m[3][3];
+  Vec3 apply(const Vec3& v) const {
+    return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z};
+  }
+};
+
+Rot random_rotation(util::Rng& rng) {
+  // Shoemake's method: uniform random quaternion.
+  const double u1 = rng.uniform();
+  const double u2 = rng.uniform();
+  const double u3 = rng.uniform();
+  const double a = std::sqrt(1.0 - u1);
+  const double b = std::sqrt(u1);
+  const double qx = a * std::sin(2 * M_PI * u2);
+  const double qy = a * std::cos(2 * M_PI * u2);
+  const double qz = b * std::sin(2 * M_PI * u3);
+  const double qw = b * std::cos(2 * M_PI * u3);
+  Rot r;
+  r.m[0][0] = 1 - 2 * (qy * qy + qz * qz);
+  r.m[0][1] = 2 * (qx * qy - qz * qw);
+  r.m[0][2] = 2 * (qx * qz + qy * qw);
+  r.m[1][0] = 2 * (qx * qy + qz * qw);
+  r.m[1][1] = 1 - 2 * (qx * qx + qz * qz);
+  r.m[1][2] = 2 * (qy * qz - qx * qw);
+  r.m[2][0] = 2 * (qx * qz - qy * qw);
+  r.m[2][1] = 2 * (qy * qz + qx * qw);
+  r.m[2][2] = 1 - 2 * (qx * qx + qy * qy);
+  return r;
+}
+
+}  // namespace
+
+WaterSystem::WaterSystem(Box box, const WaterModel& model, int n_molecules)
+    : box_(box),
+      model_(&model),
+      n_molecules_(n_molecules),
+      pos_(static_cast<std::size_t>(3 * n_molecules)),
+      vel_(static_cast<std::size_t>(3 * n_molecules)) {}
+
+double WaterSystem::kinetic_energy() const {
+  double ke = 0.0;
+  for (int a = 0; a < n_atoms(); ++a) {
+    ke += 0.5 * site_mass(a % 3) * vel_[static_cast<std::size_t>(a)].norm2();
+  }
+  return ke;
+}
+
+double WaterSystem::temperature() const {
+  // Each rigid water contributes 6 degrees of freedom (3 translation +
+  // 3 rotation): 9 atomic dof minus 3 constraints.
+  const double dof = 6.0 * n_molecules_;
+  return 2.0 * kinetic_energy() / (dof * kBoltzmann);
+}
+
+WaterSystem build_water_box(const WaterBoxOptions& opts) {
+  const double volume =
+      static_cast<double>(opts.n_molecules) / opts.number_density;
+  const double edge = std::cbrt(volume);
+  WaterSystem sys(Box(edge), spc(), opts.n_molecules);
+
+  util::Rng rng(opts.seed);
+
+  // Smallest cubic lattice that holds n molecules.
+  int cells = 1;
+  while (cells * cells * cells < opts.n_molecules) ++cells;
+  const double spacing = edge / cells;
+
+  int mol = 0;
+  for (int ix = 0; ix < cells && mol < opts.n_molecules; ++ix) {
+    for (int iy = 0; iy < cells && mol < opts.n_molecules; ++iy) {
+      for (int iz = 0; iz < cells && mol < opts.n_molecules; ++iz) {
+        Vec3 center{(ix + 0.5) * spacing, (iy + 0.5) * spacing,
+                    (iz + 0.5) * spacing};
+        const double j = opts.lattice_jitter * spacing;
+        center += Vec3{rng.uniform(-j, j), rng.uniform(-j, j), rng.uniform(-j, j)};
+        center = sys.box().wrap(center);
+
+        const Rot rot = random_rotation(rng);
+        for (int s = 0; s < 3; ++s) {
+          sys.pos(mol, s) = center + rot.apply(spc().sites[static_cast<std::size_t>(s)].local_pos);
+        }
+        ++mol;
+      }
+    }
+  }
+
+  // Maxwell-Boltzmann velocities at the requested temperature, with the
+  // center-of-mass drift removed.
+  Vec3 p_total{};
+  double m_total = 0.0;
+  for (int a = 0; a < sys.n_atoms(); ++a) {
+    const double m = sys.site_mass(a % 3);
+    const double sigma = std::sqrt(kBoltzmann * opts.temperature_kelvin / m);
+    sys.vel(a) = Vec3{sigma * rng.normal(), sigma * rng.normal(),
+                      sigma * rng.normal()};
+    p_total += sys.vel(a) * m;
+    m_total += m;
+  }
+  const Vec3 v_drift = p_total / m_total;
+  for (int a = 0; a < sys.n_atoms(); ++a) sys.vel(a) -= v_drift;
+
+  return sys;
+}
+
+}  // namespace smd::md

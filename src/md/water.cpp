@@ -1,0 +1,146 @@
+#include "src/md/water.h"
+
+#include <cmath>
+
+#include "src/md/constants.h"
+
+namespace smd::md {
+namespace {
+
+constexpr double kDeg = M_PI / 180.0;
+
+/// Place two symmetric sites at distance d from the origin with total
+/// opening angle `angle_deg`, in the xz plane, bisector along +z.
+std::array<Vec3, 2> symmetric_pair(double d, double angle_deg) {
+  const double half = 0.5 * angle_deg * kDeg;
+  return {Vec3{d * std::sin(half), 0.0, d * std::cos(half)},
+          Vec3{-d * std::sin(half), 0.0, d * std::cos(half)}};
+}
+
+WaterModel make_spc() {
+  WaterModel m;
+  m.name = "SPC";
+  const auto h = symmetric_pair(0.1, 109.47);
+  m.sites = {
+      {"O", {0, 0, 0}, -0.82, kMassO},
+      {"H1", h[0], 0.41, kMassH},
+      {"H2", h[1], 0.41, kMassH},
+  };
+  // GROMACS SPC oxygen LJ parameters.
+  m.c6 = 0.0026173456;   // kJ/mol nm^6
+  m.c12 = 2.634129e-06;  // kJ/mol nm^12
+  m.lit_dipole_debye = 2.27;
+  m.lit_dielectric = 65.0;
+  m.lit_self_diffusion_1e5_cm2s = 3.85;
+  return m;
+}
+
+WaterModel make_tip5p() {
+  WaterModel m;
+  m.name = "TIP5P";
+  const auto h = symmetric_pair(0.09572, 104.52);
+  // Lone pairs point away from the hydrogens (negative z), tetrahedrally.
+  auto l = symmetric_pair(0.07, 109.47);
+  l[0].z = -l[0].z;
+  l[1].z = -l[1].z;
+  // Rotate lone pairs into the yz plane (perpendicular to the H plane).
+  l[0] = {0.0, l[0].x, l[0].z};
+  l[1] = {0.0, l[1].x, l[1].z};
+  m.sites = {
+      {"O", {0, 0, 0}, 0.0, kMassO},
+      {"H1", h[0], 0.241, kMassH},
+      {"H2", h[1], 0.241, kMassH},
+      {"L1", l[0], -0.241, 0.0},
+      {"L2", l[1], -0.241, 0.0},
+  };
+  m.c6 = 0.00260889;  // sigma=0.312 nm, eps=0.6694 kJ/mol
+  m.c12 = 2.5179e-06;
+  m.lit_dipole_debye = 2.29;
+  m.lit_dielectric = 81.5;
+  m.lit_self_diffusion_1e5_cm2s = 2.62;
+  return m;
+}
+
+WaterModel make_ppc() {
+  WaterModel m;
+  m.name = "PPC";
+  // PPC (polarizable point charge, Kusalik & Svishchev). We represent its
+  // liquid-phase effective (polarized) charge distribution: H charges plus
+  // an M site displaced from O along the bisector. The M-site offset is
+  // chosen so the static dipole equals the model's liquid-state effective
+  // dipole of 2.52 D.
+  const double q_h = 0.517;
+  const auto h = symmetric_pair(0.0943, 106.0);
+  const double mu_target = 2.52 / kDebyePerENm;  // e nm
+  const double mu_h = 2.0 * q_h * h[0].z;        // H contribution along +z
+  const double q_m = -2.0 * q_h;
+  const double z_m = (mu_target - mu_h) / q_m;   // negative offset -> adds dipole
+  WaterSite msite{"M", {0.0, 0.0, z_m}, q_m, 0.0};
+  m.sites = {
+      {"O", {0, 0, 0}, 0.0, kMassO},
+      {"H1", h[0], q_h, kMassH},
+      {"H2", h[1], q_h, kMassH},
+      msite,
+  };
+  m.c6 = 0.0026;
+  m.c12 = 2.6e-06;
+  m.lit_dipole_debye = 2.52;
+  m.lit_dielectric = 77.0;
+  m.lit_self_diffusion_1e5_cm2s = 2.60;
+  return m;
+}
+
+WaterModel make_experimental() {
+  WaterModel m;
+  m.name = "Experimental";
+  m.c6 = 0.0;
+  m.c12 = 0.0;
+  m.lit_dipole_debye = 2.65;  // liquid-phase effective dipole
+  m.lit_dielectric = 78.4;
+  m.lit_self_diffusion_1e5_cm2s = 2.30;
+  return m;
+}
+
+}  // namespace
+
+double WaterModel::computed_dipole_debye() const {
+  Vec3 mu{};
+  for (const auto& s : sites) mu += s.local_pos * s.charge;
+  return mu.norm() * kDebyePerENm;
+}
+
+double WaterModel::total_charge() const {
+  double q = 0.0;
+  for (const auto& s : sites) q += s.charge;
+  return q;
+}
+
+const WaterModel& spc() {
+  static const WaterModel m = make_spc();
+  return m;
+}
+
+const WaterModel& tip5p() {
+  static const WaterModel m = make_tip5p();
+  return m;
+}
+
+const WaterModel& ppc() {
+  static const WaterModel m = make_ppc();
+  return m;
+}
+
+const WaterModel& experimental_reference() {
+  static const WaterModel m = make_experimental();
+  return m;
+}
+
+std::vector<const WaterModel*> table5_models() {
+  return {&spc(), &tip5p(), &ppc(), &experimental_reference()};
+}
+
+std::size_t pair_interactions(const WaterModel& m) {
+  return m.sites.size() * m.sites.size();
+}
+
+}  // namespace smd::md

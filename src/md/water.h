@@ -1,0 +1,75 @@
+// Water models.
+//
+// The simulation model is SPC (three sites: O carries the Lennard-Jones
+// well and a negative charge, the two hydrogens carry positive charges) --
+// the same class of model GROMACS uses for its optimized water-water inner
+// loops and the one the paper simulates ("partial charges are located at
+// the hydrogen and oxygen atoms").
+//
+// TIP5P- and PPC-style parameter sets are provided for the paper's Table 5
+// discussion of more complex / polarizable models; their site geometry is
+// used to compute dipole moments, and their literature bulk properties are
+// tabulated in the bench.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/md/vec3.h"
+
+namespace smd::md {
+
+/// A charge/LJ interaction site in the molecule-local frame.
+/// The local frame: O at origin, the HOH bisector along +z, H atoms in the
+/// xz plane.
+struct WaterSite {
+  std::string name;   ///< "O", "H1", "L2", "M", ...
+  Vec3 local_pos;     ///< nm, molecule-local frame.
+  double charge;      ///< e.
+  double mass;        ///< u (0 for massless virtual sites).
+};
+
+/// A rigid fixed-charge water model.
+struct WaterModel {
+  std::string name;
+  std::vector<WaterSite> sites;
+  double c6;    ///< LJ dispersion coefficient on the oxygen, kJ/mol nm^6.
+  double c12;   ///< LJ repulsion coefficient on the oxygen, kJ/mol nm^12.
+
+  /// Literature bulk properties for Table 5 (0 where not applicable).
+  double lit_dipole_debye = 0.0;
+  double lit_dielectric = 0.0;
+  double lit_self_diffusion_1e5_cm2s = 0.0;  ///< units of 1e-5 cm^2/s.
+
+  /// Dipole moment computed from the site geometry/charges, in Debye.
+  double computed_dipole_debye() const;
+
+  /// Total charge (should be ~0 for a valid model).
+  double total_charge() const;
+
+  std::size_t site_count() const { return sites.size(); }
+};
+
+/// SPC: the model simulated by StreamMD. 3 sites, OH = 0.1 nm,
+/// HOH = 109.47 deg, qO = -0.82, qH = +0.41.
+const WaterModel& spc();
+
+/// TIP5P: 5 sites (2 H + 2 lone pairs), for the Table 5 comparison.
+const WaterModel& tip5p();
+
+/// PPC-style polarizable point-charge model, represented here by its
+/// liquid-phase effective charge distribution (static approximation).
+const WaterModel& ppc();
+
+/// Experimental reference values (no sites).
+const WaterModel& experimental_reference();
+
+/// All Table 5 rows in paper order: SPC, TIP5P, PPC, Experimental.
+std::vector<const WaterModel*> table5_models();
+
+/// Number of atom-atom pair interactions between two molecules of the
+/// model (sites^2); 9 for SPC, matching the paper.
+std::size_t pair_interactions(const WaterModel& m);
+
+}  // namespace smd::md

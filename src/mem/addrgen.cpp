@@ -1,0 +1,53 @@
+#include "src/mem/addrgen.h"
+
+#include <stdexcept>
+
+namespace smd::mem {
+
+void AddressGenerator::start(const MemOpDesc* desc) {
+  desc_ = desc;
+  record_ = 0;
+  word_in_record_ = 0;
+  word_pos_ = 0;
+  if (desc_ != nullptr &&
+      (desc_->kind == MemOpKind::kLoadGather ||
+       desc_->kind == MemOpKind::kStoreScatter ||
+       desc_->kind == MemOpKind::kScatterAdd) &&
+      static_cast<std::int64_t>(desc_->indices.size()) < desc_->n_records) {
+    throw std::runtime_error("address generator: index stream too short");
+  }
+}
+
+bool AddressGenerator::done() const {
+  return desc_ == nullptr || record_ >= desc_->n_records;
+}
+
+std::uint64_t AddressGenerator::peek() const {
+  if (done()) throw std::runtime_error("address generator exhausted");
+  std::uint64_t rec_base;
+  switch (desc_->kind) {
+    case MemOpKind::kLoadStrided:
+    case MemOpKind::kStoreStrided: {
+      const std::int64_t stride =
+          desc_->stride_words != 0 ? desc_->stride_words : desc_->record_words;
+      rec_base = desc_->base + static_cast<std::uint64_t>(record_ * stride);
+      break;
+    }
+    default:
+      rec_base = desc_->base +
+                 desc_->indices[static_cast<std::size_t>(record_)] *
+                     static_cast<std::uint64_t>(desc_->record_words);
+  }
+  return rec_base + static_cast<std::uint64_t>(word_in_record_);
+}
+
+void AddressGenerator::advance() {
+  if (done()) return;
+  ++word_pos_;
+  if (++word_in_record_ >= desc_->record_words) {
+    word_in_record_ = 0;
+    ++record_;
+  }
+}
+
+}  // namespace smd::mem

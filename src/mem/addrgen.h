@@ -1,0 +1,68 @@
+// Stream address generators.
+//
+// Each Merrimac processor has two address generators which together produce
+// up to 8 single-word addresses per cycle, supporting strided records and
+// indexed gather/scatter where the indices themselves are a stream in the
+// SRF (Section 2.2). An AddressGenerator walks one stream memory
+// operation's address sequence; the memory system pulls up to its per-cycle
+// quota and applies backpressure when downstream queues fill.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace smd::mem {
+
+/// Kinds of stream memory operations.
+enum class MemOpKind : std::uint8_t {
+  kLoadStrided,
+  kLoadGather,
+  kStoreStrided,
+  kStoreScatter,
+  kScatterAdd,
+};
+
+constexpr bool is_load(MemOpKind k) {
+  return k == MemOpKind::kLoadStrided || k == MemOpKind::kLoadGather;
+}
+constexpr bool is_store(MemOpKind k) { return !is_load(k); }
+
+/// Descriptor of one stream memory operation (addresses in 64-bit words).
+struct MemOpDesc {
+  MemOpKind kind = MemOpKind::kLoadStrided;
+  std::uint64_t base = 0;        ///< word address of record 0
+  std::int64_t n_records = 0;
+  int record_words = 1;
+  std::int64_t stride_words = 0; ///< strided: record-start distance; 0 = dense
+  /// Gather/scatter/scatter-add: record index per record; address of
+  /// record r = base + indices[r] * record_words.
+  std::vector<std::uint64_t> indices;
+
+  std::int64_t total_words() const {
+    return n_records * static_cast<std::int64_t>(record_words);
+  }
+};
+
+/// Walks the word addresses of a MemOpDesc in order.
+class AddressGenerator {
+ public:
+  void start(const MemOpDesc* desc);
+  bool active() const { return desc_ != nullptr && !done(); }
+  bool done() const;
+
+  /// Next word address without advancing.
+  std::uint64_t peek() const;
+  /// Advance to the next word.
+  void advance();
+
+  /// Sequential position of the current word within the stream.
+  std::int64_t stream_pos() const { return word_pos_; }
+
+ private:
+  const MemOpDesc* desc_ = nullptr;
+  std::int64_t record_ = 0;
+  int word_in_record_ = 0;
+  std::int64_t word_pos_ = 0;
+};
+
+}  // namespace smd::mem

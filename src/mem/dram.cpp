@@ -1,0 +1,109 @@
+#include "src/mem/dram.h"
+
+namespace smd::mem {
+
+Dram::Dram(const DramConfig& cfg, int line_words)
+    : cfg_(cfg), line_words_(line_words),
+      channels_(static_cast<std::size_t>(cfg.n_channels)) {}
+
+int Dram::channel_of_line(std::uint64_t line_addr) const {
+  return static_cast<int>(line_addr % static_cast<std::uint64_t>(cfg_.n_channels));
+}
+
+bool Dram::try_read_line(std::uint64_t line_addr) {
+  Channel& ch = channels_[static_cast<std::size_t>(channel_of_line(line_addr))];
+  if (static_cast<int>(ch.read_queue.size()) >= cfg_.read_queue_depth) return false;
+  ch.read_queue.push_back(line_addr);
+  return true;
+}
+
+bool Dram::try_write_words(std::uint64_t addr, int n) {
+  const std::uint64_t line = addr / static_cast<std::uint64_t>(line_words_);
+  Channel& ch = channels_[static_cast<std::size_t>(channel_of_line(line))];
+  if (ch.pending_write_words + n > cfg_.write_buffer_words) return false;
+  ch.pending_write_words += n;
+  stats_.write_words += n;
+  return true;
+}
+
+void Dram::tick() {
+  ++now_;
+  bool any_busy = false;
+  for (auto& ch : channels_) {
+    ch.credit += cfg_.channel_words_per_cycle;
+
+    // Start servicing the next read when idle.
+    if (!ch.in_service && !ch.read_queue.empty()) {
+      ch.serving_line = ch.read_queue.front();
+      ch.read_queue.pop_front();
+      ch.in_service = true;
+      double cost = static_cast<double>(line_words_);
+      const std::uint64_t row =
+          ch.serving_line * static_cast<std::uint64_t>(line_words_) /
+          static_cast<std::uint64_t>(cfg_.row_words);
+      if (row != ch.last_row) {
+        cost += cfg_.row_miss_penalty_words;
+        ++stats_.row_misses;
+        ch.last_row = row;
+      }
+      ch.read_cost_left = cost;
+    }
+
+    if (ch.in_service) {
+      any_busy = true;
+      const double spend = ch.credit < ch.read_cost_left ? ch.credit : ch.read_cost_left;
+      ch.credit -= spend;
+      ch.read_cost_left -= spend;
+      if (ch.read_cost_left <= 1e-12) {
+        ch.in_service = false;
+        completions_.push({now_ + static_cast<std::uint64_t>(cfg_.access_latency),
+                           ch.serving_line});
+        ++stats_.read_lines;
+        stats_.read_words += line_words_;
+      }
+    } else if (ch.pending_write_words > 0.0) {
+      // Drain posted writes with spare bandwidth.
+      any_busy = true;
+      const double spend = ch.credit < ch.pending_write_words
+                               ? ch.credit
+                               : ch.pending_write_words;
+      ch.credit -= spend;
+      ch.pending_write_words -= spend;
+      if (ch.pending_write_words < 1e-9) ch.pending_write_words = 0.0;
+    }
+
+    // Don't bank unbounded credit while idle.
+    if (ch.credit > 4.0 * static_cast<double>(line_words_)) {
+      ch.credit = 4.0 * static_cast<double>(line_words_);
+    }
+  }
+  if (any_busy) ++stats_.busy_cycles;
+
+  completed_now_.clear();
+  while (!completions_.empty() && completions_.top().first <= now_) {
+    completed_now_.push_back(completions_.top().second);
+    completions_.pop();
+  }
+}
+
+std::vector<std::uint64_t> Dram::drain_completed_reads() {
+  return std::move(completed_now_);
+}
+
+bool Dram::writes_drained() const {
+  for (const auto& ch : channels_) {
+    if (ch.pending_write_words > 0) return false;
+  }
+  return true;
+}
+
+bool Dram::idle() const {
+  if (!completions_.empty()) return false;
+  for (const auto& ch : channels_) {
+    if (ch.in_service || !ch.read_queue.empty() || ch.pending_write_words > 0)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace smd::mem

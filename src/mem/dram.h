@@ -1,0 +1,89 @@
+// DRDRAM-style external memory model.
+//
+// Merrimac directly attaches 2 GB of Rambus DRDRAM delivering 38.4 GB/s of
+// peak sequential bandwidth and roughly half that for random access
+// (Section 2.2). We model the memory as line-interleaved channels, each
+// with a fixed words-per-cycle transfer rate, a fixed access latency, and a
+// row-activation penalty when consecutive accesses on a channel touch
+// different rows -- which is what separates streaming from random access
+// bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+namespace smd::mem {
+
+struct DramConfig {
+  int n_channels = 8;
+  /// Per-channel transfer rate in 64-bit words per processor cycle.
+  /// 8 channels x 0.6 w/c x 8 B x 1 GHz = 38.4 GB/s peak.
+  double channel_words_per_cycle = 0.6;
+  int access_latency = 100;     ///< cycles from service start to data return
+  int row_words = 2048;         ///< words per DRAM row (16 KB)
+  int row_miss_penalty_words = 8;  ///< extra word-times on a row change
+  int read_queue_depth = 16;    ///< per channel
+  std::int64_t write_buffer_words = 256;  ///< per channel posted-write buffer
+};
+
+struct DramStats {
+  std::int64_t read_lines = 0;
+  std::int64_t read_words = 0;
+  std::int64_t write_words = 0;
+  std::int64_t row_misses = 0;
+  std::int64_t busy_cycles = 0;  ///< cycles where any channel transferred
+};
+
+/// Cycle-driven DRAM model. Reads are requested at line granularity and
+/// complete asynchronously; writes are posted at word granularity.
+class Dram {
+ public:
+  Dram(const DramConfig& cfg, int line_words);
+
+  /// Enqueue a line read; returns false when the channel queue is full.
+  bool try_read_line(std::uint64_t line_addr);
+
+  /// Post `n` write words at `addr`; returns false when the buffer is full.
+  bool try_write_words(std::uint64_t addr, int n);
+
+  /// Advance one cycle.
+  void tick();
+
+  /// Line reads whose data returned this cycle (drained on call).
+  std::vector<std::uint64_t> drain_completed_reads();
+
+  bool writes_drained() const;
+  bool idle() const;
+
+  const DramStats& stats() const { return stats_; }
+  std::uint64_t now() const { return now_; }
+
+ private:
+  struct Channel {
+    std::deque<std::uint64_t> read_queue;   // line addresses
+    double pending_write_words = 0.0;  // fractional: drains at < 1 word/cycle
+    std::uint64_t last_row = ~0ULL;
+    double credit = 0.0;
+    double read_cost_left = 0.0;  // word-times left on the line in service
+    bool in_service = false;
+    std::uint64_t serving_line = 0;
+  };
+
+  int channel_of_line(std::uint64_t line_addr) const;
+
+  DramConfig cfg_;
+  int line_words_;
+  std::uint64_t now_ = 0;
+  std::vector<Channel> channels_;
+  // (completion_cycle, line_addr) ordered by completion time.
+  std::priority_queue<std::pair<std::uint64_t, std::uint64_t>,
+                      std::vector<std::pair<std::uint64_t, std::uint64_t>>,
+                      std::greater<>>
+      completions_;
+  std::vector<std::uint64_t> completed_now_;
+  DramStats stats_;
+};
+
+}  // namespace smd::mem

@@ -1,0 +1,145 @@
+// The Merrimac node memory system.
+//
+// Glues the address generators, the banked stream cache, the scatter-add
+// combining stores and the DRDRAM channels into a cycle-driven engine that
+// services stream memory operations (Section 2.2):
+//
+//   AGs (8 addr/cycle total) -> bank queues -> cache banks (1 word/cycle
+//   each, 8 banks = 64 GB/s) -> MSHRs -> DRAM channels (38.4 GB/s peak).
+//
+// Functional data movement is exact: loads copy from GlobalMemory into the
+// destination buffer, stores copy back, and scatter-add performs real
+// floating-point accumulation -- so simulated kernels produce real forces.
+// Timing is modeled per word through the pipeline above.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mem/addrgen.h"
+#include "src/mem/cache.h"
+#include "src/mem/dram.h"
+#include "src/mem/scatteradd.h"
+
+namespace smd::mem {
+
+struct MemSystemConfig {
+  CacheConfig cache;
+  DramConfig dram;
+  ScatterAddConfig scatter_add;
+  int n_address_generators = 2;
+  int addrs_per_generator = 4;  ///< per cycle; 2 x 4 = 8 addresses/cycle
+};
+
+/// Flat 64-bit-word global memory with a bump allocator, shared by the
+/// scalar program and the stream unit (Merrimac's single address space).
+class GlobalMemory {
+ public:
+  explicit GlobalMemory(std::int64_t initial_words = 0)
+      : words_(static_cast<std::size_t>(initial_words), 0.0) {}
+
+  /// Allocate `n` words; returns the base word address.
+  std::uint64_t alloc(std::int64_t n);
+
+  double read(std::uint64_t addr) const { return words_[addr]; }
+  void write(std::uint64_t addr, double v) { words_[addr] = v; }
+  void add(std::uint64_t addr, double v) { words_[addr] += v; }
+
+  std::int64_t size() const { return static_cast<std::int64_t>(words_.size()); }
+
+  /// Bulk helpers for program setup/readback.
+  void write_block(std::uint64_t addr, const std::vector<double>& data);
+  std::vector<double> read_block(std::uint64_t addr, std::int64_t n) const;
+
+ private:
+  std::vector<double> words_;
+};
+
+struct MemSystemStats {
+  std::int64_t ops = 0;
+  std::int64_t words_loaded = 0;     ///< SRF <- memory words
+  std::int64_t words_stored = 0;     ///< SRF -> memory words (incl. scatter-add)
+  std::int64_t addr_generated = 0;
+  std::int64_t busy_cycles = 0;      ///< cycles with at least one active op
+};
+
+/// Cycle-driven stream memory system.
+class MemSystem {
+ public:
+  using OpId = int;
+
+  MemSystem(const MemSystemConfig& cfg, GlobalMemory* mem);
+
+  /// Issue a stream memory operation.
+  ///  * loads: the destination buffer is resized and filled functionally;
+  ///  * stores/scatter-add: `store_src` must hold total_words() values.
+  /// Issue order must respect data dependences (the stream controller's
+  /// scoreboard guarantees this).
+  OpId issue(MemOpDesc desc, std::vector<double>* load_dst,
+             const std::vector<double>* store_src);
+
+  /// Advance one cycle.
+  void tick();
+
+  bool op_done(OpId id) const;
+  /// Cycle at which the op completed (valid once op_done).
+  std::uint64_t op_finish_time(OpId id) const;
+  bool all_done() const;
+  std::uint64_t now() const { return now_; }
+
+  const MemSystemStats& stats() const { return stats_; }
+  const CacheStats& cache_stats() const { return tags_.stats(); }
+  const DramStats& dram_stats() const { return dram_.stats(); }
+  ScatterAddStats scatter_add_stats() const;
+
+ private:
+  struct Op {
+    MemOpDesc desc;
+    AddressGenerator ag;
+    std::int64_t outstanding = 0;   // words not yet retired
+    bool addresses_done = false;
+    bool done = false;
+    std::uint64_t finish_time = 0;
+  };
+
+  struct BankReq {
+    OpId op;
+    std::uint64_t addr;
+    MemOpKind kind;
+  };
+
+  struct Mshr {
+    std::vector<OpId> waiters;
+    bool dirty = false;  ///< a scatter-add RMW targets the line
+  };
+
+  struct Bank {
+    std::deque<BankReq> queue;
+    std::unordered_map<std::uint64_t, Mshr> mshrs;  // line -> fill waiters
+    std::deque<std::uint64_t> pending_writebacks;   // line addresses
+    CombiningStore combining;
+
+    explicit Bank(const ScatterAddConfig& sa) : combining(sa) {}
+  };
+
+  void retire_word(OpId id);
+  bool bank_process_one(int b);
+  void handle_fills();
+  void generate_addresses();
+
+  MemSystemConfig cfg_;
+  GlobalMemory* mem_;
+  CacheTags tags_;
+  Dram dram_;
+  std::vector<Bank> banks_;
+  std::deque<Op> ops_;  // deque: stable references for AddressGenerator desc pointers
+  std::deque<OpId> ag_queue_;        // ops waiting for an address generator
+  std::vector<OpId> ag_current_;     // per AG: active op or -1
+  std::uint64_t now_ = 0;
+  MemSystemStats stats_;
+  int active_ops_ = 0;
+};
+
+}  // namespace smd::mem

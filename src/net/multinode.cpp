@@ -1,0 +1,65 @@
+#include "src/net/multinode.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smd::net {
+
+ScalingPoint ScalingModel::at(std::int64_t nodes) const {
+  ScalingPoint pt;
+  pt.nodes = nodes;
+
+  const double interactions = w_.interactions();
+  const double per_node_interactions = interactions / static_cast<double>(nodes);
+
+  // Compute: calibrated chip-level cycles per interaction.
+  pt.compute_s = per_node_interactions * w_.cycles_per_interaction /
+                 (w_.node_clock_ghz * 1e9);
+
+  // Local memory: the single-node traffic, split across nodes.
+  const double words = per_node_interactions * w_.words_per_interaction;
+  pt.local_mem_s = words / (w_.local_mem_words_per_cycle * w_.node_clock_ghz * 1e9);
+
+  // Halo exchange: each node owns a cube of edge Lp; molecules within r_c
+  // of a face are remote-gathered (positions) and remote-reduced (forces).
+  const double volume = static_cast<double>(w_.n_molecules) / w_.number_density;
+  const double lp = std::cbrt(volume / static_cast<double>(nodes));
+  const double own = static_cast<double>(w_.n_molecules) / static_cast<double>(nodes);
+  // Halo shell volume around the cube, clipped to at most replicating the
+  // entire rest of the box.
+  const double rc = w_.cutoff;
+  const double halo_volume =
+      std::pow(lp + 2.0 * rc, 3.0) - lp * lp * lp;
+  double halo_molecules = std::min(
+      halo_volume * w_.number_density,
+      static_cast<double>(w_.n_molecules) - own);
+  halo_molecules = std::max(halo_molecules, 0.0);
+  pt.halo_fraction = nodes > 1 ? halo_molecules / own : 0.0;
+
+  if (nodes > 1) {
+    const double bytes =
+        halo_molecules * (w_.position_words + w_.force_words) * 8.0;
+    // Neighbors in a 3-D decomposition sit mostly one tier up; charge the
+    // tier a node of this system size typically crosses.
+    const std::int64_t peer = std::min<std::int64_t>(
+        nodes - 1, topo_.config().nodes_per_board);
+    pt.network_s = topo_.message_seconds(0, peer, static_cast<std::int64_t>(bytes));
+  }
+
+  pt.step_s = std::max({pt.compute_s, pt.local_mem_s, pt.network_s});
+
+  const ScalingPoint base = nodes == 1 ? pt : at(1);
+  pt.speedup = base.step_s / pt.step_s;
+  pt.efficiency = pt.speedup / static_cast<double>(nodes);
+  return pt;
+}
+
+std::vector<ScalingPoint> ScalingModel::sweep(
+    const std::vector<std::int64_t>& node_counts) const {
+  std::vector<ScalingPoint> out;
+  out.reserve(node_counts.size());
+  for (auto n : node_counts) out.push_back(at(n));
+  return out;
+}
+
+}  // namespace smd::net

@@ -1,0 +1,68 @@
+// Multi-node StreamMD scaling model (the paper's "initial results of the
+// scaling of the algorithm to larger configurations of the system").
+//
+// Spatial decomposition: the periodic box is split into P equal
+// sub-volumes, one per node. Each step a node must
+//   * compute its share of the pair interactions (calibrated with the
+//     single-node simulator's cycles/interaction),
+//   * gather halo positions for molecules within r_c of its boundary from
+//     neighbor nodes, and
+//   * scatter-add partial forces back across the same halo (Merrimac's
+//     network scatter-add works across nodes at full cache bandwidth).
+// Time per step = max(compute, local memory, network) + per-tier latency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/topology.h"
+
+namespace smd::net {
+
+struct ScalingWorkload {
+  std::int64_t n_molecules = 900;
+  double cutoff = 1.0;             ///< nm
+  double number_density = 33.33;   ///< nm^-3
+  double flops_per_interaction = 208.0;
+  double words_per_interaction = 22.0;   ///< single-node memory traffic
+  double position_words = 9.0;
+  double force_words = 9.0;
+
+  // Single-node calibration.
+  double node_clock_ghz = 1.0;
+  double cycles_per_interaction = 4.0;   ///< measured, chip-level
+  double local_mem_words_per_cycle = 4.8;
+
+  double interactions() const {
+    const double vc = 4.0 / 3.0 * 3.14159265358979 * cutoff * cutoff * cutoff;
+    return static_cast<double>(n_molecules) * number_density * vc / 2.0;
+  }
+};
+
+struct ScalingPoint {
+  std::int64_t nodes = 1;
+  double compute_s = 0.0;
+  double local_mem_s = 0.0;
+  double network_s = 0.0;
+  double step_s = 0.0;
+  double speedup = 1.0;
+  double efficiency = 1.0;
+  double halo_fraction = 0.0;  ///< remote molecules / local molecules
+};
+
+class ScalingModel {
+ public:
+  ScalingModel(const ScalingWorkload& w, const NetworkConfig& net)
+      : w_(w), topo_(net) {}
+
+  ScalingPoint at(std::int64_t nodes) const;
+  std::vector<ScalingPoint> sweep(const std::vector<std::int64_t>& node_counts) const;
+
+  const ScalingWorkload& workload() const { return w_; }
+
+ private:
+  ScalingWorkload w_;
+  Topology topo_;
+};
+
+}  // namespace smd::net

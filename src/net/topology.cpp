@@ -1,0 +1,75 @@
+#include "src/net/topology.h"
+
+#include <stdexcept>
+
+namespace smd::net {
+
+const char* tier_name(Tier t) {
+  switch (t) {
+    case Tier::kSelf: return "self";
+    case Tier::kBoard: return "board";
+    case Tier::kBackplane: return "backplane";
+    case Tier::kSystem: return "system";
+  }
+  return "?";
+}
+
+Tier Topology::tier(std::int64_t src, std::int64_t dst) const {
+  if (src == dst) return Tier::kSelf;
+  if (src / cfg_.nodes_per_board == dst / cfg_.nodes_per_board) return Tier::kBoard;
+  if (src / cfg_.nodes_per_backplane() == dst / cfg_.nodes_per_backplane()) {
+    return Tier::kBackplane;
+  }
+  return Tier::kSystem;
+}
+
+Route Topology::route(std::int64_t src, std::int64_t dst) const {
+  if (src < 0 || dst < 0 || src >= cfg_.max_nodes() || dst >= cfg_.max_nodes()) {
+    throw std::runtime_error("node id out of range");
+  }
+  Route r;
+  r.tier = tier(src, dst);
+  // A single channel carries the minimal path; the folded Clos is
+  // non-blocking so the unloaded bottleneck is one channel's bandwidth.
+  r.bandwidth_gbytes = cfg_.channel_gbps / 8.0;
+  switch (r.tier) {
+    case Tier::kSelf:
+      r.hops = 0;
+      r.latency_ns = 0.0;
+      // Local memory: not a network path; report node injection bandwidth.
+      r.bandwidth_gbytes = cfg_.node_injection_gbytes();
+      break;
+    case Tier::kBoard:
+      r.hops = 1;  // up to the board router and back down
+      r.latency_ns = cfg_.router_latency_ns + 2 * cfg_.board_wire_ns;
+      break;
+    case Tier::kBackplane:
+      r.hops = 3;  // board router -> backplane router -> board router
+      r.latency_ns = 3 * cfg_.router_latency_ns + 2 * cfg_.board_wire_ns +
+                     2 * cfg_.backplane_wire_ns;
+      break;
+    case Tier::kSystem:
+      r.hops = 5;  // the full five-stage folded Clos
+      r.latency_ns = 5 * cfg_.router_latency_ns + 2 * cfg_.board_wire_ns +
+                     2 * cfg_.backplane_wire_ns + 2 * cfg_.optics_ns;
+      break;
+  }
+  return r;
+}
+
+double Topology::message_seconds(std::int64_t src, std::int64_t dst,
+                                 std::int64_t bytes) const {
+  const Route r = route(src, dst);
+  if (r.tier == Tier::kSelf) return 0.0;
+  return r.latency_ns * 1e-9 +
+         static_cast<double>(bytes) / (r.bandwidth_gbytes * 1e9);
+}
+
+double Topology::bisection_gbytes(std::int64_t p) const {
+  // Each half of the machine reaches the other through the per-node
+  // injection bandwidth up to the top switch tier.
+  const double per_node = cfg_.node_injection_gbytes();
+  return per_node * static_cast<double>(p) / 2.0;
+}
+
+}  // namespace smd::net

@@ -1,0 +1,77 @@
+// Merrimac interconnection network: five-stage folded Clos (fat tree).
+//
+// Paper Section 2.3: 16 nodes + 4 high-radix routers per board; each
+// on-board router gives every processor two 2.5 GB/s channels and eight
+// channels up to the backplane; backplane routers connect the boards of a
+// cabinet and uplink through optics to the system-level switch, which
+// scales the machine to 16,384 nodes (2 PFLOPS).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace smd::net {
+
+struct NetworkConfig {
+  int nodes_per_board = 16;
+  int routers_per_board = 4;
+  int boards_per_backplane = 32;
+  int backplanes_per_system = 32;
+  double channel_gbps = 2.5 * 8.0;      ///< one 2.5 GB/s channel, in Gb/s
+  int channels_per_node_per_router = 2;
+
+  // Per-hop latencies (ns).
+  double router_latency_ns = 40.0;
+  double board_wire_ns = 5.0;
+  double backplane_wire_ns = 20.0;
+  double optics_ns = 150.0;  ///< electro-optic conversion + fiber
+
+  int nodes_per_backplane() const { return nodes_per_board * boards_per_backplane; }
+  std::int64_t max_nodes() const {
+    return static_cast<std::int64_t>(nodes_per_backplane()) * backplanes_per_system;
+  }
+
+  /// Per-node injection bandwidth in GB/s: routers x channels x 2.5 GB/s.
+  double node_injection_gbytes() const {
+    return routers_per_board * channels_per_node_per_router * channel_gbps / 8.0;
+  }
+};
+
+/// Tier of the network a message must climb to.
+enum class Tier { kSelf, kBoard, kBackplane, kSystem };
+
+const char* tier_name(Tier t);
+
+struct Route {
+  Tier tier = Tier::kSelf;
+  int hops = 0;                ///< router traversals
+  double latency_ns = 0.0;     ///< one-way, unloaded
+  double bandwidth_gbytes = 0; ///< min channel bandwidth on the path (GB/s)
+};
+
+/// Static routing analysis on the folded Clos.
+class Topology {
+ public:
+  explicit Topology(const NetworkConfig& cfg) : cfg_(cfg) {}
+
+  /// Which tier two nodes communicate through.
+  Tier tier(std::int64_t src, std::int64_t dst) const;
+
+  /// Unloaded route properties between two nodes.
+  Route route(std::int64_t src, std::int64_t dst) const;
+
+  /// Time (seconds) for an n-byte message between two nodes, unloaded
+  /// (LogGP-style: latency + bytes / bandwidth).
+  double message_seconds(std::int64_t src, std::int64_t dst,
+                         std::int64_t bytes) const;
+
+  /// Aggregate bisection bandwidth of a p-node system in GB/s.
+  double bisection_gbytes(std::int64_t p) const;
+
+  const NetworkConfig& config() const { return cfg_; }
+
+ private:
+  NetworkConfig cfg_;
+};
+
+}  // namespace smd::net

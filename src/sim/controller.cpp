@@ -1,0 +1,310 @@
+#include "src/sim/controller.h"
+
+#include <span>
+#include <stdexcept>
+#include <string>
+
+namespace smd::sim {
+namespace {
+
+struct StreamState {
+  std::vector<double> buffer;
+  std::int64_t declared_words = 0;
+  int producer = -1;               // instr id, -1 = pre-initialized (none)
+  std::vector<int> consumers;      // instr ids reading this stream
+  int consumers_remaining = 0;
+  bool allocated = false;
+  bool freed = false;
+};
+
+enum class Phase { kWaiting, kRunning, kDone };
+
+struct InstrState {
+  Phase phase = Phase::kWaiting;
+  std::vector<int> deps;           // instrs that must be kDone first
+  std::vector<StreamId> produces;  // streams written
+  std::vector<StreamId> consumes;  // streams read
+  bool is_kernel = false;
+  bool is_load = false;
+  bool holds_sdr = false;
+  mem::MemSystem::OpId mem_id = -1;
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;  // kernels: known at start
+};
+
+}  // namespace
+
+Controller::Controller(const MachineConfig& cfg, mem::GlobalMemory* memory)
+    : cfg_(cfg), memory_(memory) {}
+
+RunStats Controller::run(const StreamProgram& program) {
+  mem::MemSystem memsys(cfg_.mem, memory_);
+  SrfAllocator srf(cfg_.srf_words);
+  KernelCostCache costs(cfg_.sched);
+  RunStats stats;
+
+  const int n = static_cast<int>(program.instrs.size());
+  std::vector<InstrState> st(static_cast<std::size_t>(n));
+  std::vector<StreamState> streams(program.stream_words.size());
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    streams[s].declared_words = program.stream_words[s];
+  }
+
+  // ---- Build the dependence graph from stream reads/writes. -------------
+  for (int i = 0; i < n; ++i) {
+    auto& is = st[static_cast<std::size_t>(i)];
+    const auto& instr = program.instrs[static_cast<std::size_t>(i)];
+    if (const auto* load = std::get_if<LoadOp>(&instr)) {
+      is.is_load = true;
+      is.produces.push_back(load->dst);
+    } else if (const auto* store = std::get_if<StoreOp>(&instr)) {
+      is.consumes.push_back(store->src);
+    } else {
+      const auto& k = std::get<KernelOp>(instr);
+      is.is_kernel = true;
+      if (k.bindings.size() != k.def->streams.size()) {
+        throw std::runtime_error("kernel binding arity mismatch");
+      }
+      for (std::size_t s = 0; s < k.bindings.size(); ++s) {
+        if (k.def->streams[s].dir == kernel::StreamDir::kIn) {
+          is.consumes.push_back(k.bindings[s]);
+        } else {
+          is.produces.push_back(k.bindings[s]);
+        }
+      }
+    }
+    for (StreamId s : is.consumes) {
+      auto& ss = streams[static_cast<std::size_t>(s)];
+      if (ss.producer >= 0) is.deps.push_back(ss.producer);
+      ss.consumers.push_back(i);
+      ++ss.consumers_remaining;
+    }
+    for (StreamId s : is.produces) {
+      auto& ss = streams[static_cast<std::size_t>(s)];
+      // WAW on the prior producer and WAR on its readers so far.
+      if (ss.producer >= 0) {
+        is.deps.push_back(ss.producer);
+        for (int c : ss.consumers) is.deps.push_back(c);
+      }
+      ss.producer = i;
+    }
+  }
+
+  int free_sdrs = cfg_.n_stream_descriptor_registers;
+  bool clusters_busy = false;
+  int running_kernel = -1;
+  int remaining = n;
+  std::uint64_t now = 0;
+  std::uint64_t last_progress = 0;
+
+  auto deps_done = [&](int i) {
+    for (int d : st[static_cast<std::size_t>(i)].deps) {
+      if (st[static_cast<std::size_t>(d)].phase != Phase::kDone) return false;
+    }
+    return true;
+  };
+
+  // SRF buffers are allocated strictly in program order (the compile-time
+  // stream-scheduling discipline): otherwise a later strip's loads can
+  // grab the space an earlier strip's kernel outputs need and deadlock the
+  // scoreboard. `next_alloc` is the first instruction whose produced
+  // streams are not yet allocated.
+  int next_alloc = 0;
+  auto advance_next_alloc = [&] {
+    while (next_alloc < n) {
+      bool pending = false;
+      for (StreamId s : st[static_cast<std::size_t>(next_alloc)].produces) {
+        if (!streams[static_cast<std::size_t>(s)].allocated) pending = true;
+      }
+      if (pending) break;
+      ++next_alloc;
+    }
+  };
+  advance_next_alloc();
+
+  auto alloc_outputs = [&](int i) {
+    // Reserve SRF space for every stream this instr produces (idempotent).
+    std::int64_t need = 0;
+    for (StreamId s : st[static_cast<std::size_t>(i)].produces) {
+      if (!streams[static_cast<std::size_t>(s)].allocated) {
+        need += streams[static_cast<std::size_t>(s)].declared_words;
+      }
+    }
+    if (need == 0) return true;
+    if (i != next_alloc) return false;  // in-order allocation only
+    if (!srf.try_alloc(need)) return false;
+    for (StreamId s : st[static_cast<std::size_t>(i)].produces) {
+      streams[static_cast<std::size_t>(s)].allocated = true;
+    }
+    advance_next_alloc();
+    return true;
+  };
+
+  auto maybe_free_stream = [&](StreamId s) {
+    auto& ss = streams[static_cast<std::size_t>(s)];
+    if (ss.freed || !ss.allocated) return;
+    const bool producer_done =
+        ss.producer < 0 || st[static_cast<std::size_t>(ss.producer)].phase == Phase::kDone;
+    if (producer_done && ss.consumers_remaining == 0) {
+      srf.free(ss.declared_words);
+      ss.freed = true;
+    }
+  };
+
+  // Conservative SDR policy: a load's SDR is released only when every
+  // consumer of the loaded stream has retired.
+  auto conservative_release_ready = [&](int i) {
+    for (StreamId s : st[static_cast<std::size_t>(i)].produces) {
+      if (streams[static_cast<std::size_t>(s)].consumers_remaining > 0) return false;
+    }
+    return true;
+  };
+  std::vector<int> sdr_parked;  // loads whose SDR awaits consumer retirement
+
+  auto on_retire = [&](int i) {
+    auto& is = st[static_cast<std::size_t>(i)];
+    is.phase = Phase::kDone;
+    --remaining;
+    last_progress = now;
+    for (StreamId s : is.consumes) {
+      --streams[static_cast<std::size_t>(s)].consumers_remaining;
+      maybe_free_stream(s);
+    }
+    for (StreamId s : is.produces) maybe_free_stream(s);
+    // Conservative SDRs may now be releasable.
+    for (auto it = sdr_parked.begin(); it != sdr_parked.end();) {
+      if (conservative_release_ready(*it)) {
+        ++free_sdrs;
+        st[static_cast<std::size_t>(*it)].holds_sdr = false;
+        it = sdr_parked.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  auto start_kernel = [&](int i) {
+    const auto& k = std::get<KernelOp>(program.instrs[static_cast<std::size_t>(i)]);
+    auto& is = st[static_cast<std::size_t>(i)];
+
+    // Functional execution, exact; results land in the SRF buffers now.
+    kernel::StreamBindings bindings;
+    bindings.inputs.resize(k.def->streams.size());
+    bindings.outputs.resize(k.def->streams.size());
+    for (std::size_t s = 0; s < k.bindings.size(); ++s) {
+      auto& buf = streams[static_cast<std::size_t>(k.bindings[s])].buffer;
+      if (k.def->streams[s].dir == kernel::StreamDir::kIn) {
+        bindings.inputs[s] = std::span<const double>(buf);
+        bindings.outputs[s] = nullptr;
+      } else {
+        bindings.outputs[s] = &buf;
+      }
+    }
+    kernel::Interpreter interp(*k.def, cfg_.n_clusters);
+    stats.interp += interp.run(bindings, k.rounds);
+
+    const KernelCost& cost = costs.get(*k.def);
+    const std::uint64_t cycles =
+        static_cast<std::uint64_t>(cfg_.kernel_startup_cycles) +
+        cost.cycles_for(k.rounds);
+    is.start = now;
+    is.end = now + cycles;
+    is.phase = Phase::kRunning;
+    running_kernel = i;
+    clusters_busy = true;
+    ++stats.n_kernel_launches;
+  };
+
+  auto start_memop = [&](int i) {
+    auto& is = st[static_cast<std::size_t>(i)];
+    const auto& instr = program.instrs[static_cast<std::size_t>(i)];
+    --free_sdrs;
+    is.holds_sdr = true;
+    is.start = now;
+    is.phase = Phase::kRunning;
+    ++stats.n_memory_ops;
+    if (const auto* load = std::get_if<LoadOp>(&instr)) {
+      is.mem_id = memsys.issue(load->desc,
+                               &streams[static_cast<std::size_t>(load->dst)].buffer,
+                               nullptr);
+    } else {
+      const auto& store = std::get<StoreOp>(instr);
+      is.mem_id = memsys.issue(store.desc, nullptr,
+                               &streams[static_cast<std::size_t>(store.src)].buffer);
+    }
+  };
+
+  // ---- Main loop. --------------------------------------------------------
+  while (remaining > 0) {
+    // Issue everything that is ready this cycle.
+    bool sdr_starved = false;
+    for (int i = 0; i < n; ++i) {
+      auto& is = st[static_cast<std::size_t>(i)];
+      if (is.phase != Phase::kWaiting || !deps_done(i)) continue;
+      if (is.is_kernel) {
+        if (clusters_busy) continue;
+        if (!alloc_outputs(i)) continue;
+        start_kernel(i);
+      } else {
+        if (free_sdrs <= 0) {
+          sdr_starved = true;
+          continue;
+        }
+        if (is.is_load && !alloc_outputs(i)) continue;
+        start_memop(i);
+      }
+    }
+    if (sdr_starved) ++stats.sdr_stall_cycles;
+
+    memsys.tick();
+    ++now;
+
+    // Retire finished work.
+    if (running_kernel >= 0 &&
+        st[static_cast<std::size_t>(running_kernel)].end <= now) {
+      auto& is = st[static_cast<std::size_t>(running_kernel)];
+      stats.timeline.add(Lane::kKernel, is.start, is.end, "kernel");
+      stats.kernel_busy_cycles += is.end - is.start;
+      clusters_busy = false;
+      const int finished = running_kernel;
+      running_kernel = -1;
+      on_retire(finished);
+    }
+    for (int i = 0; i < n; ++i) {
+      auto& is = st[static_cast<std::size_t>(i)];
+      if (is.phase != Phase::kRunning || is.is_kernel) continue;
+      if (!memsys.op_done(is.mem_id)) continue;
+      is.end = now;
+      stats.timeline.add(Lane::kMemory, is.start, is.end, "mem");
+      if (is.holds_sdr) {
+        const bool conservative =
+            cfg_.sdr_policy == SdrPolicy::kConservative && is.is_load;
+        if (conservative && !conservative_release_ready(i)) {
+          sdr_parked.push_back(i);
+        } else {
+          ++free_sdrs;
+          is.holds_sdr = false;
+        }
+      }
+      on_retire(i);
+    }
+
+    if (now - last_progress > 50'000'000ULL) {
+      throw std::runtime_error("stream controller deadlock: " +
+                               std::to_string(remaining) + " instrs stuck");
+    }
+  }
+
+  stats.cycles = now;
+  stats.mem_stats = memsys.stats();
+  stats.cache_stats = memsys.cache_stats();
+  stats.dram_stats = memsys.dram_stats();
+  stats.scatter_add_stats = memsys.scatter_add_stats();
+  stats.mem_words = stats.mem_stats.words_loaded + stats.mem_stats.words_stored;
+  stats.mem_busy_cycles = stats.mem_stats.busy_cycles;
+  stats.overlap_cycles = stats.timeline.overlap_cycles(now);
+  stats.srf_peak_words = srf.peak();
+  return stats;
+}
+
+}  // namespace smd::sim

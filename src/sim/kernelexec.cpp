@@ -1,0 +1,47 @@
+#include "src/sim/kernelexec.h"
+
+namespace smd::sim {
+
+std::uint64_t KernelCost::cycles_for(std::int64_t rounds) const {
+  if (rounds <= 0) return static_cast<std::uint64_t>(prologue_cycles);
+  const int unroll = body.unroll > 0 ? body.unroll : 1;
+  const auto steady = [&](std::int64_t iters) -> std::uint64_t {
+    if (iters <= 0 || body.ii == 0) return 0;
+    const std::int64_t instances = (iters + unroll - 1) / unroll;
+    std::uint64_t c = static_cast<std::uint64_t>(instances) *
+                      static_cast<std::uint64_t>(body.ii);
+    // Pipeline fill/drain beyond the steady state.
+    if (body.pipelined && body.depth > body.ii) {
+      c += static_cast<std::uint64_t>(body.depth - body.ii);
+    }
+    return c;
+  };
+
+  std::uint64_t total = static_cast<std::uint64_t>(prologue_cycles);
+  if (has_outer) {
+    // The software pipeline restarts around every outer section.
+    const std::uint64_t per_round = static_cast<std::uint64_t>(outer_pre_cycles) +
+                                    steady(block_len) +
+                                    static_cast<std::uint64_t>(outer_post_cycles);
+    total += static_cast<std::uint64_t>(rounds) * per_round;
+  } else {
+    total += steady(rounds * block_len);
+  }
+  return total;
+}
+
+const KernelCost& KernelCostCache::get(const kernel::KernelDef& def) {
+  auto it = cache_.find(&def);
+  if (it != cache_.end()) return it->second;
+
+  KernelCost cost;
+  cost.body = kernel::schedule_body(def, opts_);
+  cost.prologue_cycles = kernel::straightline_cycles(def.prologue, opts_);
+  cost.outer_pre_cycles = kernel::straightline_cycles(def.outer_pre, opts_);
+  cost.outer_post_cycles = kernel::straightline_cycles(def.outer_post, opts_);
+  cost.block_len = def.block_len;
+  cost.has_outer = !def.outer_pre.empty() || !def.outer_post.empty();
+  return cache_.emplace(&def, std::move(cost)).first->second;
+}
+
+}  // namespace smd::sim

@@ -1,0 +1,48 @@
+// Kernel cost model: turns a scheduled kernel into cycle counts.
+//
+// A kernel invocation costs:
+//   startup (microcode load, scalar issue, pipeline priming)
+// + per round: outer_pre + software-pipelined body (block_len iterations at
+//   II/unroll steady-state cycles, plus fill/drain when the pipeline
+//   restarts around outer sections) + outer_post.
+//
+// All clusters run in SIMD, so chip-level time equals cluster-level time;
+// throughput scales with the 16 clusters because each round processes one
+// element (or block) per cluster.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "src/kernel/ir.h"
+#include "src/kernel/schedule.h"
+
+namespace smd::sim {
+
+struct KernelCost {
+  kernel::Schedule body;
+  int prologue_cycles = 0;
+  int outer_pre_cycles = 0;
+  int outer_post_cycles = 0;
+  int block_len = 1;
+  bool has_outer = false;
+
+  /// Total execution cycles for `rounds` outer rounds (excluding the
+  /// machine-level kernel startup overhead).
+  std::uint64_t cycles_for(std::int64_t rounds) const;
+};
+
+/// Computes and memoizes kernel costs (scheduling is expensive).
+class KernelCostCache {
+ public:
+  explicit KernelCostCache(kernel::ScheduleOptions opts) : opts_(opts) {}
+
+  const KernelCost& get(const kernel::KernelDef& def);
+  const kernel::ScheduleOptions& options() const { return opts_; }
+
+ private:
+  kernel::ScheduleOptions opts_;
+  std::map<const kernel::KernelDef*, KernelCost> cache_;
+};
+
+}  // namespace smd::sim

@@ -1,0 +1,37 @@
+// Top-level Merrimac node simulator.
+//
+// Owns the global memory image (the single shared address space through
+// which StreamMD interfaces with the scalar-side GROMACS code) and runs
+// stream programs on the modeled stream unit.
+#pragma once
+
+#include "src/mem/memsys.h"
+#include "src/sim/config.h"
+#include "src/sim/controller.h"
+#include "src/sim/streamop.h"
+
+namespace smd::sim {
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig cfg = MachineConfig::merrimac())
+      : cfg_(std::move(cfg)) {}
+
+  const MachineConfig& config() const { return cfg_; }
+  MachineConfig& config() { return cfg_; }
+
+  mem::GlobalMemory& memory() { return memory_; }
+  const mem::GlobalMemory& memory() const { return memory_; }
+
+  /// Execute a stream program to completion on the node.
+  RunStats run(const StreamProgram& program) {
+    Controller controller(cfg_, &memory_);
+    return controller.run(program);
+  }
+
+ private:
+  MachineConfig cfg_;
+  mem::GlobalMemory memory_;
+};
+
+}  // namespace smd::sim

@@ -1,0 +1,41 @@
+// Stream register file capacity accounting.
+//
+// The SRF is a 1 MB software-managed memory banked per cluster. The stream
+// scheduler (our controller) allocates a lane-striped buffer per live
+// stream; when the working set of in-flight strips exceeds SRF capacity,
+// issue stalls -- bounding how deeply strips can be software-pipelined.
+// This class tracks capacity and buffer lifetimes; stream *contents* are
+// owned by the controller (plain vectors, functionally exact).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace smd::sim {
+
+class SrfAllocator {
+ public:
+  explicit SrfAllocator(std::int64_t capacity_words)
+      : capacity_(capacity_words) {}
+
+  /// Try to reserve `words`; false if it would exceed capacity.
+  bool try_alloc(std::int64_t words) {
+    if (in_use_ + words > capacity_) return false;
+    in_use_ += words;
+    peak_ = in_use_ > peak_ ? in_use_ : peak_;
+    return true;
+  }
+
+  void free(std::int64_t words) { in_use_ -= words; }
+
+  std::int64_t in_use() const { return in_use_; }
+  std::int64_t peak() const { return peak_; }
+  std::int64_t capacity() const { return capacity_; }
+
+ private:
+  std::int64_t capacity_;
+  std::int64_t in_use_ = 0;
+  std::int64_t peak_ = 0;
+};
+
+}  // namespace smd::sim

@@ -1,0 +1,71 @@
+// Stream-level program representation.
+//
+// A StreamProgram is what the scalar core issues to the stream unit: a
+// sequence of stream memory operations (entire-stream LOAD/STORE/
+// SCATTER-ADD transfers between memory and the SRF) and KERNEL invocations
+// over SRF-resident streams. The stream controller (controller.h) executes
+// it out of order subject to stream dependences, SRF capacity, and SDR
+// availability -- which is what produces the software-pipelined overlap of
+// Figure 5.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/kernel/ir.h"
+#include "src/mem/addrgen.h"
+
+namespace smd::sim {
+
+/// Handle of an SRF-resident stream buffer.
+using StreamId = int;
+
+/// Transfer memory -> SRF.
+struct LoadOp {
+  mem::MemOpDesc desc;
+  StreamId dst;
+};
+
+/// Transfer SRF -> memory (plain store or scatter-add per desc.kind).
+struct StoreOp {
+  mem::MemOpDesc desc;
+  StreamId src;
+};
+
+/// Run a kernel over SRF streams. `bindings[i]` is the StreamId bound to
+/// the kernel's stream slot i (matching def->streams order).
+struct KernelOp {
+  const kernel::KernelDef* def = nullptr;
+  std::vector<StreamId> bindings;
+  std::int64_t rounds = 0;  ///< outer-block rounds (see kernel::Interpreter)
+};
+
+using StreamInstr = std::variant<LoadOp, StoreOp, KernelOp>;
+
+/// A complete stream program plus SRF buffer declarations.
+struct StreamProgram {
+  /// Capacity (words) to reserve in the SRF for each stream buffer.
+  /// Index = StreamId.
+  std::vector<std::int64_t> stream_words;
+  std::vector<StreamInstr> instrs;
+
+  StreamId new_stream(std::int64_t words) {
+    stream_words.push_back(words);
+    return static_cast<StreamId>(stream_words.size()) - 1;
+  }
+
+  void load(mem::MemOpDesc desc, StreamId dst) {
+    instrs.push_back(LoadOp{std::move(desc), dst});
+  }
+  void store(mem::MemOpDesc desc, StreamId src) {
+    instrs.push_back(StoreOp{std::move(desc), src});
+  }
+  void kernel(const kernel::KernelDef* def, std::vector<StreamId> bindings,
+              std::int64_t rounds) {
+    instrs.push_back(KernelOp{def, std::move(bindings), rounds});
+  }
+};
+
+}  // namespace smd::sim

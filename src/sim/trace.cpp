@@ -1,0 +1,67 @@
+#include "src/sim/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace smd::sim {
+
+void Timeline::add(Lane lane, std::uint64_t start, std::uint64_t end,
+                   std::string label) {
+  if (end <= start) return;
+  intervals_.push_back({start, end, lane, std::move(label)});
+}
+
+std::vector<bool> Timeline::occupancy(Lane lane, std::uint64_t horizon) const {
+  std::vector<bool> busy(static_cast<std::size_t>(horizon), false);
+  for (const auto& iv : intervals_) {
+    if (iv.lane != lane) continue;
+    const std::uint64_t lo = std::min(iv.start, horizon);
+    const std::uint64_t hi = std::min(iv.end, horizon);
+    for (std::uint64_t t = lo; t < hi; ++t) busy[static_cast<std::size_t>(t)] = true;
+  }
+  return busy;
+}
+
+std::uint64_t Timeline::busy_cycles(Lane lane, std::uint64_t horizon) const {
+  const auto busy = occupancy(lane, horizon);
+  std::uint64_t n = 0;
+  for (bool b : busy) n += b ? 1 : 0;
+  return n;
+}
+
+std::uint64_t Timeline::overlap_cycles(std::uint64_t horizon) const {
+  const auto k = occupancy(Lane::kKernel, horizon);
+  const auto m = occupancy(Lane::kMemory, horizon);
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < k.size(); ++i) n += (k[i] && m[i]) ? 1 : 0;
+  return n;
+}
+
+std::string Timeline::ascii(std::uint64_t horizon, std::uint64_t cycles_per_row) const {
+  const auto k = occupancy(Lane::kKernel, horizon);
+  const auto m = occupancy(Lane::kMemory, horizon);
+  std::ostringstream os;
+  os << "    cycle  kernel   memory\n";
+  for (std::uint64_t row = 0; row * cycles_per_row < horizon; ++row) {
+    const std::uint64_t lo = row * cycles_per_row;
+    const std::uint64_t hi = std::min(horizon, lo + cycles_per_row);
+    double kb = 0, mb = 0;
+    for (std::uint64_t t = lo; t < hi; ++t) {
+      kb += k[static_cast<std::size_t>(t)] ? 1 : 0;
+      mb += m[static_cast<std::size_t>(t)] ? 1 : 0;
+    }
+    const double span = static_cast<double>(hi - lo);
+    auto bar = [&](double frac) {
+      const int width = 8;
+      const int n = static_cast<int>(frac / span * width + 0.5);
+      std::string s(static_cast<std::size_t>(n), '#');
+      s.resize(width, ' ');
+      return s;
+    };
+    os << std::string(9 - std::min<std::size_t>(9, std::to_string(lo).size()), ' ')
+       << lo << "  " << bar(kb) << " " << bar(mb) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace smd::sim

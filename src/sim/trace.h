@@ -1,0 +1,43 @@
+// Execution timeline tracing (Figure 7).
+//
+// Records busy intervals on two lanes -- kernel execution and stream
+// memory -- and renders the paper's two-column occupancy snippet, plus
+// overlap statistics (fraction of memory time hidden under compute).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smd::sim {
+
+enum class Lane : int { kKernel = 0, kMemory = 1 };
+
+struct Interval {
+  std::uint64_t start;
+  std::uint64_t end;  // exclusive
+  Lane lane;
+  std::string label;
+};
+
+class Timeline {
+ public:
+  void add(Lane lane, std::uint64_t start, std::uint64_t end, std::string label);
+
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  /// Cycles where the lane is busy (union of intervals).
+  std::uint64_t busy_cycles(Lane lane, std::uint64_t horizon) const;
+  /// Cycles where both lanes are busy simultaneously.
+  std::uint64_t overlap_cycles(std::uint64_t horizon) const;
+
+  /// ASCII rendering: one row per `cycles_per_row` cycles, two columns
+  /// (kernel | memory), '#' = busy. Mirrors Figure 7's layout.
+  std::string ascii(std::uint64_t horizon, std::uint64_t cycles_per_row) const;
+
+ private:
+  std::vector<bool> occupancy(Lane lane, std::uint64_t horizon) const;
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace smd::sim

@@ -1,0 +1,83 @@
+#include "src/util/table.h"
+
+#include <cassert>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+
+namespace smd::util {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' || c == '-' ||
+          c == '+' || c == 'e' || c == 'E' || c == '%' || c == ',' || c == 'x')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::integer(long long v) {
+  // Thousands separators for readability of interaction counts.
+  std::string raw = std::to_string(v < 0 ? -v : v);
+  std::string out;
+  int group = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (group == 3) {
+      out.push_back(',');
+      group = 0;
+    }
+    out.push_back(*it);
+    ++group;
+  }
+  if (v < 0) out.push_back('-');
+  return {out.rbegin(), out.rend()};
+}
+
+std::string Table::percent(double fraction, int precision) {
+  return num(fraction * 100.0, precision) + "%";
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const bool right = looks_numeric(cells[c]);
+      os << (c ? "  " : "") << (right ? std::right : std::left)
+         << std::setw(static_cast<int>(width[c])) << cells[c];
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (auto w : width) total += w;
+  os << std::string(total + 2 * (headers_.size() - 1), '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace smd::util

@@ -1,0 +1,30 @@
+// Minimal aligned-column table printer used by the paper-table benches so
+// every reproduced table/figure prints in a uniform, diff-friendly format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace smd::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(long long v);
+  static std::string percent(double fraction, int precision = 1);
+
+  /// Render with a header rule and right-aligned numeric-looking cells.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace smd::util

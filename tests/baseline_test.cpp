@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/baseline/gromacs_like.h"
+#include "src/baseline/p4model.h"
+#include "src/core/kernels.h"
+#include "src/md/force_ref.h"
+#include "src/md/neighborlist.h"
+#include "src/md/system.h"
+
+namespace smd::baseline {
+namespace {
+
+TEST(ApproxRsqrt, AccurateToSinglePrecision) {
+  for (float x : {1e-4f, 0.01f, 0.33f, 1.0f, 2.0f, 123.0f, 1e6f}) {
+    const float got = approx_rsqrt(x);
+    const float want = 1.0f / std::sqrt(x);
+    EXPECT_NEAR(got / want, 1.0f, 1e-5f) << x;
+  }
+}
+
+TEST(SseStyleKernel, MatchesReferenceToSinglePrecision) {
+  md::WaterBoxOptions opts;
+  opts.n_molecules = 216;
+  const md::WaterSystem sys = md::build_water_box(opts);
+  const md::NeighborList list = md::build_neighbor_list(sys, 0.8);
+  const md::ForceEnergy ref = md::compute_forces_reference(sys, list);
+  const md::ForceEnergy sse = compute_forces_sse_style(sys, list);
+  // Single precision + approximate rsqrt: expect ~1e-5 relative agreement.
+  EXPECT_LT(md::max_force_rel_err(ref.force, sse.force), 1e-3);
+  EXPECT_NEAR(sse.e_coulomb / ref.e_coulomb, 1.0, 1e-3);
+}
+
+TEST(SseStyleKernel, NewtonThirdLaw) {
+  md::WaterBoxOptions opts;
+  opts.n_molecules = 64;
+  const md::WaterSystem sys = md::build_water_box(opts);
+  const md::NeighborList list = md::build_neighbor_list(sys, 0.7);
+  const md::ForceEnergy fe = compute_forces_sse_style(sys, list);
+  md::Vec3 total{};
+  for (const auto& f : fe.force) total += f;
+  EXPECT_NEAR(total.norm(), 0.0, 5e-2);  // single-precision accumulation
+}
+
+TEST(P4Model, InTheGromacsPerformanceBand) {
+  // GROMACS's hand-tuned SSE water loops sustained a few GFLOPS on a
+  // 2.4 GHz Pentium 4 -- the model must land in that band, well below the
+  // 9.6 GFLOPS single-precision peak.
+  const P4Model model;
+  const kernel::FlopCensus census = core::interaction_flops(md::spc());
+  const double gflops = model.solution_gflops(census);
+  EXPECT_GT(gflops, 1.0);
+  EXPECT_LT(gflops, 9.6 * 0.6);
+}
+
+TEST(P4Model, ScalesWithClock) {
+  P4Model slow;
+  slow.clock_ghz = 1.2;
+  P4Model fast;
+  fast.clock_ghz = 2.4;
+  const kernel::FlopCensus census = core::interaction_flops(md::spc());
+  EXPECT_NEAR(fast.solution_gflops(census) / slow.solution_gflops(census), 2.0,
+              1e-9);
+}
+
+TEST(P4Model, OverheadSlowsItDown) {
+  P4Model lean;
+  lean.overhead_factor = 1.0;
+  P4Model real;
+  real.overhead_factor = 1.35;
+  const kernel::FlopCensus census = core::interaction_flops(md::spc());
+  EXPECT_GT(lean.solution_gflops(census), real.solution_gflops(census));
+}
+
+TEST(P4Model, CyclesPerInteractionPlausible) {
+  const P4Model model;
+  const kernel::FlopCensus census = core::interaction_flops(md::spc());
+  const double cyc = model.cycles_per_interaction(census);
+  // ~200 flops at 4-wide, half-rate issue, with overhead: O(100) cycles.
+  EXPECT_GT(cyc, 50.0);
+  EXPECT_LT(cyc, 500.0);
+}
+
+}  // namespace
+}  // namespace smd::baseline

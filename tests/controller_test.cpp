@@ -1,0 +1,208 @@
+// Stream-controller scoreboard semantics: ordering (RAW/WAR/WAW through
+// streams), stream lifetime/SRF accounting, multi-consumer streams, and
+// failure modes.
+#include <gtest/gtest.h>
+
+#include "src/kernel/ir.h"
+#include "src/sim/machine.h"
+
+namespace smd::sim {
+namespace {
+
+using Reg = kernel::KernelBuilder::Reg;
+
+MachineConfig fast_config() {
+  MachineConfig cfg = MachineConfig::merrimac();
+  cfg.kernel_startup_cycles = 5;
+  cfg.mem.dram.access_latency = 10;
+  return cfg;
+}
+
+kernel::KernelDef make_scale(double k, const char* name) {
+  kernel::KernelBuilder kb(name);
+  const int in = kb.stream_in("x", 1);
+  const int out = kb.stream_out("y", 1);
+  kb.section(kernel::Section::kPrologue);
+  const Reg c = kb.constant(k);
+  kb.section(kernel::Section::kBody);
+  const auto x = kb.read(in, 1);
+  kb.write(out, kb.mul(x[0], c), 1);
+  return kb.build();
+}
+
+mem::MemOpDesc strided(std::uint64_t base, std::int64_t n) {
+  mem::MemOpDesc d;
+  d.kind = mem::MemOpKind::kLoadStrided;
+  d.base = base;
+  d.n_records = n;
+  d.record_words = 1;
+  return d;
+}
+
+mem::MemOpDesc strided_store(std::uint64_t base, std::int64_t n) {
+  mem::MemOpDesc d = strided(base, n);
+  d.kind = mem::MemOpKind::kStoreStrided;
+  return d;
+}
+
+TEST(Controller, KernelChainPropagatesThroughSrf) {
+  // load -> x2 -> x3 -> store: the intermediate stream never touches
+  // memory, exactly the long-term producer-consumer locality the SRF is
+  // for.
+  Machine machine(fast_config());
+  auto& mem = machine.memory();
+  const int n = 256;
+  const auto in = mem.alloc(n), out = mem.alloc(n);
+  for (int i = 0; i < n; ++i) mem.write(in + static_cast<std::uint64_t>(i), i);
+
+  const auto k2 = make_scale(2.0, "x2");
+  const auto k3 = make_scale(3.0, "x3");
+  StreamProgram prog;
+  const StreamId s0 = prog.new_stream(n);
+  const StreamId s1 = prog.new_stream(n);
+  const StreamId s2 = prog.new_stream(n);
+  prog.load(strided(in, n), s0);
+  prog.kernel(&k2, {s0, s1}, n / 16);
+  prog.kernel(&k3, {s1, s2}, n / 16);
+  prog.store(strided_store(out, n), s2);
+  const RunStats stats = machine.run(prog);
+
+  for (int i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(mem.read(out + static_cast<std::uint64_t>(i)), 6.0 * i);
+  }
+  // Only the endpoints moved through the memory system.
+  EXPECT_EQ(stats.mem_words, 2 * n);
+}
+
+TEST(Controller, MultiConsumerStreamReadTwice) {
+  // One loaded stream feeding two kernels: both must see the data, and
+  // its SRF buffer must stay alive until the second consumer retires.
+  Machine machine(fast_config());
+  auto& mem = machine.memory();
+  const int n = 128;
+  const auto in = mem.alloc(n), out_a = mem.alloc(n), out_b = mem.alloc(n);
+  for (int i = 0; i < n; ++i) mem.write(in + static_cast<std::uint64_t>(i), i + 1);
+
+  const auto k2 = make_scale(2.0, "x2");
+  const auto k5 = make_scale(5.0, "x5");
+  StreamProgram prog;
+  const StreamId s_in = prog.new_stream(n);
+  const StreamId s_a = prog.new_stream(n);
+  const StreamId s_b = prog.new_stream(n);
+  prog.load(strided(in, n), s_in);
+  prog.kernel(&k2, {s_in, s_a}, n / 16);
+  prog.kernel(&k5, {s_in, s_b}, n / 16);
+  prog.store(strided_store(out_a, n), s_a);
+  prog.store(strided_store(out_b, n), s_b);
+  machine.run(prog);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(mem.read(out_a + static_cast<std::uint64_t>(i)), 2.0 * (i + 1));
+    EXPECT_DOUBLE_EQ(mem.read(out_b + static_cast<std::uint64_t>(i)), 5.0 * (i + 1));
+  }
+}
+
+TEST(Controller, WawOnReusedStreamRespectsProgramOrder) {
+  // The same StreamId written by two loads with an intervening consumer:
+  // the second load must wait for the first reader (WAR) and the final
+  // store must see the second load's data (WAW ordering).
+  Machine machine(fast_config());
+  auto& mem = machine.memory();
+  const int n = 64;
+  const auto in1 = mem.alloc(n), in2 = mem.alloc(n);
+  const auto out1 = mem.alloc(n), out2 = mem.alloc(n);
+  for (int i = 0; i < n; ++i) {
+    mem.write(in1 + static_cast<std::uint64_t>(i), 10.0 + i);
+    mem.write(in2 + static_cast<std::uint64_t>(i), 90.0 + i);
+  }
+  StreamProgram prog;
+  const StreamId s = prog.new_stream(n);
+  prog.load(strided(in1, n), s);
+  prog.store(strided_store(out1, n), s);
+  prog.load(strided(in2, n), s);  // WAR with the store, WAW with load 1
+  prog.store(strided_store(out2, n), s);
+  machine.run(prog);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(mem.read(out1 + static_cast<std::uint64_t>(i)), 10.0 + i);
+    EXPECT_DOUBLE_EQ(mem.read(out2 + static_cast<std::uint64_t>(i)), 90.0 + i);
+  }
+}
+
+TEST(Controller, ScatterAddStoreAccumulatesAcrossStrips) {
+  // Two strips scatter-adding into the same rows: the reduction across
+  // kernel invocations is exactly how StreamMD combines partial forces.
+  Machine machine(fast_config());
+  auto& mem = machine.memory();
+  const int n = 64;
+  const auto in = mem.alloc(2 * n);
+  const auto out = mem.alloc(n);
+  for (int i = 0; i < 2 * n; ++i) mem.write(in + static_cast<std::uint64_t>(i), 1.0);
+
+  const auto k2 = make_scale(2.0, "x2");
+  StreamProgram prog;
+  for (int strip = 0; strip < 2; ++strip) {
+    const StreamId s_in = prog.new_stream(n);
+    const StreamId s_out = prog.new_stream(n);
+    prog.load(strided(in + static_cast<std::uint64_t>(strip * n), n), s_in);
+    prog.kernel(&k2, {s_in, s_out}, n / 16);
+    mem::MemOpDesc d;
+    d.kind = mem::MemOpKind::kScatterAdd;
+    d.base = out;
+    d.n_records = n;
+    d.record_words = 1;
+    for (int i = 0; i < n; ++i) d.indices.push_back(static_cast<std::uint64_t>(i));
+    prog.store(d, s_out);
+  }
+  machine.run(prog);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(mem.read(out + static_cast<std::uint64_t>(i)), 4.0);
+  }
+}
+
+TEST(Controller, EmptyProgramCompletesImmediately) {
+  Machine machine(fast_config());
+  StreamProgram prog;
+  const RunStats stats = machine.run(prog);
+  EXPECT_EQ(stats.n_kernel_launches, 0);
+  EXPECT_EQ(stats.n_memory_ops, 0);
+}
+
+TEST(Controller, ZeroRoundKernelRetires) {
+  Machine machine(fast_config());
+  const auto k2 = make_scale(2.0, "x2");
+  StreamProgram prog;
+  const StreamId s_in = prog.new_stream(0);
+  const StreamId s_out = prog.new_stream(0);
+  prog.kernel(&k2, {s_in, s_out}, 0);
+  const RunStats stats = machine.run(prog);
+  EXPECT_EQ(stats.n_kernel_launches, 1);
+}
+
+TEST(Controller, ThroughputScalesWithStripCount) {
+  // Doubling the strips of identical work should roughly double the run
+  // (sub-linear thanks to overlap, never super-linear).
+  auto run_strips = [&](int strips) {
+    Machine machine(fast_config());
+    auto& mem = machine.memory();
+    const int n = 2048;
+    const auto in = mem.alloc(static_cast<std::int64_t>(strips) * n);
+    const auto out = mem.alloc(static_cast<std::int64_t>(strips) * n);
+    static const auto k2 = make_scale(2.0, "x2");
+    StreamProgram prog;
+    for (int s = 0; s < strips; ++s) {
+      const StreamId a = prog.new_stream(n);
+      const StreamId b = prog.new_stream(n);
+      prog.load(strided(in + static_cast<std::uint64_t>(s * n), n), a);
+      prog.kernel(&k2, {a, b}, n / 16);
+      prog.store(strided_store(out + static_cast<std::uint64_t>(s * n), n), b);
+    }
+    return machine.run(prog).cycles;
+  };
+  const auto c2 = run_strips(2);
+  const auto c4 = run_strips(4);
+  EXPECT_GT(c4, c2);
+  EXPECT_LT(static_cast<double>(c4), 2.2 * static_cast<double>(c2));
+  EXPECT_GT(static_cast<double>(c4), 1.5 * static_cast<double>(c2));
+}
+
+}  // namespace
+}  // namespace smd::sim

@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "src/core/blocking.h"
+#include "src/core/kernels.h"
+#include "src/core/layouts.h"
+#include "src/core/program.h"
+#include "src/core/run.h"
+#include "src/md/force_ref.h"
+
+namespace smd::core {
+namespace {
+
+/// A small but fully-featured problem (hundreds of pairs, multiple strips
+/// forced by a small SRF) used by the end-to-end tests.
+const Problem& small_problem() {
+  static const Problem p = [] {
+    ExperimentSetup setup;
+    setup.n_molecules = 125;
+    setup.cutoff = 0.7;
+    return Problem::make(setup);
+  }();
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Kernels
+// ---------------------------------------------------------------------------
+
+TEST(Kernels, AllVariantsBuildAndValidate) {
+  for (Variant v : {Variant::kExpanded, Variant::kFixed, Variant::kVariable,
+                    Variant::kDuplicated}) {
+    const kernel::KernelDef def = build_water_kernel(v, md::spc());
+    EXPECT_NO_THROW(def.validate()) << variant_name(v);
+    EXPECT_GT(def.n_regs, 0);
+  }
+}
+
+TEST(Kernels, InteractionFlopCensusMatchesPaperShape) {
+  const kernel::FlopCensus c = interaction_flops(md::spc());
+  // Paper: ~234 flops including 9 divides and 9 square roots.
+  EXPECT_EQ(c.divides, 9);
+  EXPECT_EQ(c.square_roots, 9);
+  EXPECT_GE(c.flops, 180);
+  EXPECT_LE(c.flops, 260);
+}
+
+TEST(Kernels, DuplicatedIsCheaperPerIteration) {
+  // duplicated skips the neighbor-force side entirely.
+  const auto fixed = build_water_kernel(Variant::kFixed, md::spc());
+  const auto dup = build_water_kernel(Variant::kDuplicated, md::spc());
+  EXPECT_LT(dup.body_census().flops, fixed.body_census().flops);
+  EXPECT_LT(dup.body_census().words_written, fixed.body_census().words_written);
+}
+
+TEST(Kernels, VariableUsesConditionalStreams) {
+  const auto def = build_water_kernel(Variant::kVariable, md::spc());
+  bool has_cond_in = false, has_cond_out = false;
+  for (const auto& s : def.streams) {
+    if (s.conditional && s.dir == kernel::StreamDir::kIn) has_cond_in = true;
+    if (s.conditional && s.dir == kernel::StreamDir::kOut) has_cond_out = true;
+  }
+  EXPECT_TRUE(has_cond_in);
+  EXPECT_TRUE(has_cond_out);
+}
+
+// ---------------------------------------------------------------------------
+// Layouts
+// ---------------------------------------------------------------------------
+
+class LayoutInvariants : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(LayoutInvariants, CountsConsistent) {
+  const Variant v = GetParam();
+  const Problem& p = small_problem();
+  LayoutOptions opts;
+  const VariantLayout lay = build_layout(v, p.system, p.half_list, opts);
+
+  EXPECT_EQ(lay.n_real_interactions, p.half_list.n_pairs());
+  EXPECT_GE(lay.n_computed_interactions, lay.n_real_interactions *
+                                             (v == Variant::kDuplicated ? 2 : 1));
+  EXPECT_FALSE(lay.strips.empty());
+  // Strips tile the rounds exactly.
+  std::int64_t r = 0;
+  for (const auto& s : lay.strips) {
+    EXPECT_EQ(s.round_begin, r);
+    EXPECT_GT(s.round_end, s.round_begin);
+    r = s.round_end;
+  }
+  EXPECT_EQ(r, lay.rounds);
+  // Slices cover the index arrays exactly.
+  EXPECT_EQ(lay.strips.back().neighbor_end,
+            static_cast<std::int64_t>(lay.neighbor_gather_idx.size()));
+  EXPECT_EQ(lay.strips.back().fc_end,
+            static_cast<std::int64_t>(lay.force_c_scatter_idx.size()));
+}
+
+TEST_P(LayoutInvariants, GatherIndicesInRange) {
+  const Variant v = GetParam();
+  const Problem& p = small_problem();
+  const VariantLayout lay = build_layout(v, p.system, p.half_list, {});
+  const auto n = static_cast<std::uint64_t>(p.system.n_molecules());
+  for (auto idx : lay.neighbor_gather_idx) EXPECT_LE(idx, n + 1);
+  for (auto idx : lay.force_c_scatter_idx) EXPECT_LE(idx, n);
+  for (auto idx : lay.force_n_scatter_idx) EXPECT_LE(idx, n);
+}
+
+TEST_P(LayoutInvariants, EveryRealPairAppearsOnce) {
+  // Multiset of (min,max) molecule pairs reconstructed from the layout
+  // must equal the half list (duplicated: twice).
+  const Variant v = GetParam();
+  const Problem& p = small_problem();
+  const VariantLayout lay = build_layout(v, p.system, p.half_list, {});
+  const auto n = static_cast<std::uint64_t>(p.system.n_molecules());
+
+  std::map<std::pair<int, int>, int> seen;
+  if (v == Variant::kExpanded) {
+    for (std::size_t k = 0; k < lay.neighbor_gather_idx.size(); ++k) {
+      const auto c = lay.central_gather_idx[k];
+      const auto nb = lay.neighbor_gather_idx[k];
+      if (c >= n || nb >= n) continue;  // padding
+      ++seen[{static_cast<int>(std::min(c, nb)), static_cast<int>(std::max(c, nb))}];
+    }
+  } else {
+    // Reconstruct block membership from the scatter streams: pair each
+    // neighbor slot with its block's central via force_n order -- for the
+    // fixed-like variants the slot order is deterministic; for variable we
+    // use the neighbor/fc reconstruction below instead.
+    if (v == Variant::kVariable) {
+      GTEST_SKIP() << "covered by the end-to-end force validation";
+    }
+    const int L = kFixedListLength, C = 16;
+    const std::int64_t blocks =
+        static_cast<std::int64_t>(lay.force_c_scatter_idx.size());
+    for (std::int64_t b = 0; b < blocks; ++b) {
+      const auto central = lay.force_c_scatter_idx[static_cast<std::size_t>(b)];
+      if (central >= n) continue;
+      const std::int64_t r = b / C, c = b % C;
+      for (int l = 0; l < L; ++l) {
+        const std::int64_t slot = (r * L + l) * C + c;
+        const auto nb = lay.neighbor_gather_idx[static_cast<std::size_t>(slot)];
+        if (nb >= n) continue;
+        ++seen[{static_cast<int>(std::min<std::uint64_t>(central, nb)),
+                static_cast<int>(std::max<std::uint64_t>(central, nb))}];
+      }
+    }
+  }
+  const int expect = v == Variant::kDuplicated ? 2 : 1;
+  std::int64_t total = 0;
+  for (const auto& [pair, count] : seen) {
+    EXPECT_EQ(count, expect) << pair.first << "," << pair.second;
+    total += count;
+  }
+  EXPECT_EQ(total, p.half_list.n_pairs() * expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, LayoutInvariants,
+                         ::testing::Values(Variant::kExpanded, Variant::kFixed,
+                                           Variant::kVariable,
+                                           Variant::kDuplicated));
+
+TEST(Layouts, FullListDoublesPairs) {
+  const Problem& p = small_problem();
+  const md::NeighborList full = make_full_list(p.half_list);
+  EXPECT_EQ(full.n_pairs(), 2 * p.half_list.n_pairs());
+  // Symmetric: j in row i <=> i in row j.
+  for (int i = 0; i < full.n_molecules(); ++i) {
+    for (std::int32_t k = full.offsets[i]; k < full.offsets[i + 1]; ++k) {
+      const std::int32_t j = full.neighbors[k];
+      bool found = false;
+      for (std::int32_t k2 = full.offsets[j]; k2 < full.offsets[j + 1]; ++k2) {
+        if (full.neighbors[k2] == i) found = true;
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(Layouts, ShiftGroupsPartitionTheRow) {
+  const Problem& p = small_problem();
+  for (int mol = 0; mol < 20; ++mol) {
+    const auto groups = group_by_shift(p.half_list, mol);
+    std::int64_t total = 0;
+    for (const auto& g : groups) total += static_cast<std::int64_t>(g.entries.size());
+    EXPECT_EQ(total, p.half_list.degree(mol));
+  }
+}
+
+TEST(Layouts, FixedPadsToListLength) {
+  const Problem& p = small_problem();
+  const VariantLayout lay = build_layout(Variant::kFixed, p.system, p.half_list, {});
+  EXPECT_EQ(lay.n_neighbor_slots % kFixedListLength, 0);
+  EXPECT_GE(lay.n_neighbor_slots, p.half_list.n_pairs());
+}
+
+/// The paper's full-scale dataset (900 molecules, r_c = 1 nm, mean degree
+/// ~70). Layout construction is scalar-side and cheap; only used by tests
+/// that need the paper's density regime.
+const Problem& paper_problem() {
+  static const Problem p = Problem::make({});
+  return p;
+}
+
+TEST(Layouts, ArithmeticIntensityOrderingOnPaperDataset) {
+  // Paper Table 4: duplicated > variable > fixed > expanded. The ordering
+  // of fixed vs variable depends on the neighbor-count distribution (a
+  // variable central amortizes over a whole shift group, a fixed one over
+  // L=8), so it must be checked at the paper's density regime.
+  const Problem& p = paper_problem();
+  const double f = p.flops_per_interaction;
+  const double ai_exp =
+      build_layout(Variant::kExpanded, p.system, p.half_list, {}).arithmetic_intensity(f);
+  const double ai_fix =
+      build_layout(Variant::kFixed, p.system, p.half_list, {}).arithmetic_intensity(f);
+  const double ai_var =
+      build_layout(Variant::kVariable, p.system, p.half_list, {}).arithmetic_intensity(f);
+  const double ai_dup =
+      build_layout(Variant::kDuplicated, p.system, p.half_list, {}).arithmetic_intensity(f);
+  EXPECT_LT(ai_exp, ai_fix);
+  EXPECT_LT(ai_fix, ai_var);
+  EXPECT_LT(ai_var, ai_dup);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: simulate each variant and validate forces.
+// ---------------------------------------------------------------------------
+
+class EndToEnd : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(EndToEnd, ForcesMatchReference) {
+  const Variant v = GetParam();
+  const Problem& p = small_problem();
+  const VariantResult res = run_variant(p, v);
+  EXPECT_LT(res.max_force_rel_err, 1e-9) << variant_name(v);
+  EXPECT_GT(res.run.cycles, 0u);
+  EXPECT_GT(res.solution_gflops, 0.0);
+  EXPECT_GT(res.run.n_kernel_launches, 0);
+}
+
+TEST_P(EndToEnd, DeterministicAcrossRuns) {
+  const Variant v = GetParam();
+  const Problem& p = small_problem();
+  const VariantResult a = run_variant(p, v);
+  const VariantResult b = run_variant(p, v);
+  EXPECT_EQ(a.run.cycles, b.run.cycles);
+  EXPECT_EQ(a.mem_refs, b.mem_refs);
+  EXPECT_DOUBLE_EQ(a.solution_gflops, b.solution_gflops);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, EndToEnd,
+                         ::testing::Values(Variant::kExpanded, Variant::kFixed,
+                                           Variant::kVariable,
+                                           Variant::kDuplicated));
+
+TEST(EndToEnd, LocalityDominatedByLrf) {
+  // Figure 8: ~90%+ of references hit the LRF in every variant.
+  const Problem& p = small_problem();
+  for (Variant v : {Variant::kExpanded, Variant::kVariable}) {
+    const VariantResult res = run_variant(p, v);
+    EXPECT_GT(res.lrf_fraction, 0.80) << variant_name(v);
+    EXPECT_NEAR(res.lrf_fraction + res.srf_fraction + res.mem_fraction, 1.0, 1e-9);
+  }
+}
+
+TEST(EndToEnd, MemoryTrafficAndAiShapes) {
+  const Problem& p = small_problem();
+  const auto results = run_all_variants(p);
+  std::map<Variant, const VariantResult*> by;
+  for (const auto& r : results) by[r.variant] = &r;
+  // expanded is by far the most traffic-hungry; fixed improves on it;
+  // variable improves further (no dummy words).
+  EXPECT_GT(by[Variant::kExpanded]->mem_refs, by[Variant::kFixed]->mem_refs);
+  EXPECT_GT(by[Variant::kFixed]->mem_refs, by[Variant::kVariable]->mem_refs);
+  // duplicated trades total traffic for arithmetic intensity: it has the
+  // highest measured AI and the highest raw (all-ops) execution rate, even
+  // though its absolute word count exceeds variable's.
+  for (const auto& r : results) {
+    if (r.variant == Variant::kDuplicated) continue;
+    EXPECT_GT(by[Variant::kDuplicated]->ai_measured, r.ai_measured) << r.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Blocking model
+// ---------------------------------------------------------------------------
+
+TEST(Blocking, KernelRisesMemoryFalls) {
+  BlockingModelParams params;
+  params.variable_kernel_cycles = 1e6;
+  params.variable_memory_cycles = 2e6;
+  const BlockingModel model(params);
+  const auto pts = model.sweep(0.5, 5.0, 10);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GT(pts[i].kernel_rel, pts[i - 1].kernel_rel);
+    EXPECT_LT(pts[i].memory_rel, pts[i - 1].memory_rel);
+  }
+}
+
+TEST(Blocking, MemoryBoundWorkloadHasInteriorMinimum) {
+  BlockingModelParams params;
+  params.variable_kernel_cycles = 1e6;
+  params.variable_memory_cycles = 2e6;  // memory bound, like the paper
+  const BlockingModel model(params);
+  const BlockingPoint min = model.minimum();
+  EXPECT_LT(min.time_rel, 1.0);   // blocking helps
+  EXPECT_GT(min.size, 0.5);       // interior minimum
+  EXPECT_LT(min.size, 6.0);
+}
+
+TEST(Blocking, RejectsNonPositiveSize) {
+  const BlockingModel model(BlockingModelParams{});
+  EXPECT_THROW(model.at(0.0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace smd::core

@@ -1,0 +1,242 @@
+// Cross-module integration sweeps: every StreamMD variant, across dataset
+// sizes, seeds and machine configurations (cluster counts, SRF pressure,
+// SDR policies, list lengths), must reproduce the reference forces through
+// the full simulated pipeline and keep its run statistics self-consistent.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "src/core/run.h"
+
+namespace smd::core {
+namespace {
+
+Problem make_problem(int n, double rc, std::uint64_t seed) {
+  ExperimentSetup s;
+  s.n_molecules = n;
+  s.cutoff = rc;
+  s.seed = seed;
+  return Problem::make(s);
+}
+
+// ---------------------------------------------------------------------------
+// Forces match across datasets and seeds.
+// ---------------------------------------------------------------------------
+
+class DatasetSweep
+    : public ::testing::TestWithParam<std::tuple<Variant, int, int>> {};
+
+TEST_P(DatasetSweep, ForcesMatchReference) {
+  const auto [variant, n, seed] = GetParam();
+  const Problem p = make_problem(n, 0.65, static_cast<std::uint64_t>(seed));
+  const VariantResult r = run_variant(p, variant);
+  EXPECT_LT(r.max_force_rel_err, 1e-9)
+      << variant_name(variant) << " n=" << n << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, DatasetSweep,
+    ::testing::Combine(::testing::Values(Variant::kExpanded, Variant::kFixed,
+                                         Variant::kVariable,
+                                         Variant::kDuplicated),
+                       ::testing::Values(32, 90, 160),
+                       ::testing::Values(1, 7)));
+
+// ---------------------------------------------------------------------------
+// Machine-configuration robustness.
+// ---------------------------------------------------------------------------
+
+class MachineSweep : public ::testing::TestWithParam<std::tuple<Variant, int>> {};
+
+TEST_P(MachineSweep, ClusterCountsStillValidate) {
+  const auto [variant, clusters] = GetParam();
+  const Problem p = make_problem(100, 0.7, 3);
+  sim::MachineConfig cfg = sim::MachineConfig::merrimac();
+  cfg.n_clusters = clusters;
+  const VariantResult r = run_variant(p, variant, cfg);
+  EXPECT_LT(r.max_force_rel_err, 1e-9)
+      << variant_name(variant) << " clusters=" << clusters;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Clusters, MachineSweep,
+    ::testing::Combine(::testing::Values(Variant::kExpanded, Variant::kFixed,
+                                         Variant::kVariable,
+                                         Variant::kDuplicated),
+                       ::testing::Values(4, 8, 32)));
+
+TEST(MachineRobustness, TinySrfForcesStillCorrect) {
+  const Problem p = make_problem(80, 0.7, 5);
+  sim::MachineConfig cfg = sim::MachineConfig::merrimac();
+  cfg.srf_words = 20000;  // forces many small strips + issue stalls
+  for (Variant v : {Variant::kExpanded, Variant::kVariable}) {
+    const VariantResult r = run_variant(p, v, cfg);
+    EXPECT_LT(r.max_force_rel_err, 1e-9) << variant_name(v);
+    EXPECT_LE(r.run.srf_peak_words, cfg.srf_words);
+  }
+}
+
+TEST(MachineRobustness, ConservativeSdrStillCorrectJustSlower) {
+  const Problem p = make_problem(100, 0.7, 9);
+  sim::MachineConfig cons = sim::MachineConfig::merrimac();
+  cons.sdr_policy = sim::SdrPolicy::kConservative;
+  cons.n_stream_descriptor_registers = 2;
+  sim::MachineConfig fast = sim::MachineConfig::merrimac();
+  const VariantResult a = run_variant(p, Variant::kDuplicated, cons);
+  const VariantResult b = run_variant(p, Variant::kDuplicated, fast);
+  EXPECT_LT(a.max_force_rel_err, 1e-9);
+  EXPECT_GE(a.run.cycles, b.run.cycles);
+}
+
+TEST(MachineRobustness, SlowDramStillCorrect) {
+  const Problem p = make_problem(80, 0.7, 2);
+  sim::MachineConfig cfg = sim::MachineConfig::merrimac();
+  cfg.mem.dram.channel_words_per_cycle = 0.1;  // 6.4 GB/s total
+  const VariantResult r = run_variant(p, Variant::kExpanded, cfg);
+  EXPECT_LT(r.max_force_rel_err, 1e-9);
+  // Starved DRAM must show up as a memory-bound run.
+  EXPECT_GT(r.run.mem_busy_cycles, r.run.kernel_busy_cycles);
+}
+
+TEST(MachineRobustness, FixedListLengthSweep) {
+  const Problem base = make_problem(100, 0.7, 4);
+  for (int L : {2, 4, 16, 32}) {
+    ExperimentSetup s = base.setup;
+    s.fixed_list_length = L;
+    Problem p = base;
+    p.setup = s;
+    const VariantResult r = run_variant(p, Variant::kFixed);
+    EXPECT_LT(r.max_force_rel_err, 1e-9) << "L=" << L;
+    EXPECT_EQ(r.n_neighbor_slots % L, 0) << "L=" << L;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Statistic self-consistency.
+// ---------------------------------------------------------------------------
+
+TEST(StatsConsistency, CyclesBoundedByBusyLanes) {
+  const Problem p = make_problem(120, 0.7, 6);
+  for (const auto& r : run_all_variants(p)) {
+    // Total time at least each lane's busy time, at most their sum plus
+    // issue overheads.
+    EXPECT_GE(r.run.cycles + 1, r.run.kernel_busy_cycles);
+    EXPECT_GE(r.run.cycles + 1, r.run.mem_busy_cycles);
+    EXPECT_LE(r.run.cycles, r.run.kernel_busy_cycles + r.run.mem_busy_cycles +
+                                10000);
+    // Overlap can't exceed either lane.
+    EXPECT_LE(r.run.overlap_cycles, r.run.kernel_busy_cycles);
+    EXPECT_LE(r.run.overlap_cycles, r.run.mem_busy_cycles + 1);
+  }
+}
+
+TEST(StatsConsistency, MemWordsMatchLayoutPrediction) {
+  const Problem p = make_problem(120, 0.7, 6);
+  for (Variant v : {Variant::kExpanded, Variant::kFixed, Variant::kVariable,
+                    Variant::kDuplicated}) {
+    LayoutOptions lopts;
+    const VariantLayout lay = build_layout(v, p.system, p.half_list, lopts);
+    const VariantResult r = run_variant(p, v);
+    EXPECT_EQ(r.mem_refs, lay.memory_words()) << variant_name(v);
+  }
+}
+
+TEST(StatsConsistency, SolutionFlopsIndependentOfVariant) {
+  const Problem p = make_problem(120, 0.7, 6);
+  // solution GFLOPS x time = useful flops = constant across variants.
+  std::map<Variant, double> useful;
+  for (const auto& r : run_all_variants(p)) {
+    useful[r.variant] = r.solution_gflops * 1e9 * r.time_ms * 1e-3;
+  }
+  for (const auto& [v, f] : useful) {
+    EXPECT_NEAR(f / useful[Variant::kExpanded], 1.0, 1e-9) << variant_name(v);
+  }
+}
+
+TEST(StatsConsistency, DuplicatedExecutesTwiceTheFlops) {
+  const Problem p = make_problem(120, 0.7, 6);
+  const VariantResult var = run_variant(p, Variant::kVariable);
+  const VariantResult dup = run_variant(p, Variant::kDuplicated);
+  const double ratio =
+      static_cast<double>(dup.run.interp.executed.flops) /
+      static_cast<double>(var.run.interp.executed.flops);
+  // 2x interactions, minus the neighbor-force arithmetic it skips, plus
+  // dummy padding: lands somewhere around 1.5-2.2x.
+  EXPECT_GT(ratio, 1.4);
+  EXPECT_LT(ratio, 2.4);
+}
+
+TEST(StatsConsistency, KernelLaunchesEqualStrips) {
+  const Problem p = make_problem(120, 0.7, 6);
+  for (Variant v : {Variant::kExpanded, Variant::kVariable}) {
+    LayoutOptions lopts;
+    const VariantLayout lay = build_layout(v, p.system, p.half_list, lopts);
+    const VariantResult r = run_variant(p, v);
+    EXPECT_EQ(r.run.n_kernel_launches, static_cast<int>(lay.strips.size()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Numerical edge cases.
+// ---------------------------------------------------------------------------
+
+TEST(EdgeCases, TwoMoleculesOnly) {
+  const Problem p = make_problem(2, 2.0, 1);
+  ASSERT_GE(p.half_list.n_pairs(), 1);
+  for (Variant v : {Variant::kExpanded, Variant::kFixed, Variant::kVariable,
+                    Variant::kDuplicated}) {
+    const VariantResult r = run_variant(p, v);
+    EXPECT_LT(r.max_force_rel_err, 1e-9) << variant_name(v);
+  }
+}
+
+TEST(EdgeCases, SparseSystemWithIsolatedMolecules) {
+  // A cutoff small enough that many molecules have zero neighbors.
+  const Problem p = make_problem(64, 0.35, 8);
+  ASSERT_GT(p.half_list.n_pairs(), 0);
+  ASSERT_LT(p.half_list.n_pairs(), 64L * 5);
+  for (Variant v : {Variant::kExpanded, Variant::kFixed, Variant::kVariable,
+                    Variant::kDuplicated}) {
+    const VariantResult r = run_variant(p, v);
+    EXPECT_LT(r.max_force_rel_err, 1e-9) << variant_name(v);
+  }
+}
+
+TEST(EdgeCases, DummiesNeverLeakIntoRealForces) {
+  // The trash row absorbs all dummy contributions; real rows must be
+  // bitwise unaffected by padding. Compare fixed (heavy padding) against
+  // expanded (no dummy interactions at all).
+  const Problem p = make_problem(90, 0.6, 12);
+  const VariantResult fixed = run_variant(p, Variant::kFixed);
+  const VariantResult expanded = run_variant(p, Variant::kExpanded);
+  EXPECT_LT(fixed.max_force_rel_err, 1e-9);
+  EXPECT_LT(expanded.max_force_rel_err, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Energy-streaming kernel.
+// ---------------------------------------------------------------------------
+
+TEST(EnergyKernel, MatchesReferencePotential) {
+  const Problem p = make_problem(120, 0.7, 6);
+  const EnergyRunResult r = run_expanded_with_energy(p);
+  EXPECT_LT(r.result.max_force_rel_err, 1e-9);
+  EXPECT_NEAR(r.e_coulomb, p.reference.e_coulomb,
+              1e-9 * std::fabs(p.reference.e_coulomb) + 1e-6);
+  EXPECT_NEAR(r.e_lj, p.reference.e_lj,
+              1e-9 * std::fabs(p.reference.e_lj) + 1e-6);
+}
+
+TEST(EnergyKernel, CostsMoreThanForceOnlyKernel) {
+  const Problem p = make_problem(120, 0.7, 6);
+  const VariantResult plain = run_variant(p, Variant::kExpanded);
+  const EnergyRunResult energy = run_expanded_with_energy(p);
+  // Extra arithmetic (energy accumulation) and extra output words.
+  EXPECT_GT(energy.result.run.interp.executed.flops,
+            plain.run.interp.executed.flops);
+  EXPECT_GT(energy.result.mem_refs, plain.mem_refs);
+}
+
+}  // namespace
+}  // namespace smd::core

@@ -1,0 +1,222 @@
+// Property tests for the MD substrate: periodic-boundary invariants over
+// random points, physical invariances of the force field (translation,
+// box-wrap), neighbor-list invariants over parameter sweeps, SHAKE
+// convergence from perturbed geometries, and minimizer monotonicity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/md/force_ref.h"
+#include "src/md/integrator.h"
+#include "src/md/neighborlist.h"
+#include "src/md/system.h"
+#include "src/util/rng.h"
+
+namespace smd::md {
+namespace {
+
+TEST(PbcProperty, MinImageComponentsWithinHalfBox) {
+  util::Rng rng(31);
+  const Box box(2.7, 3.1, 1.9);
+  for (int i = 0; i < 2000; ++i) {
+    const Vec3 a{rng.uniform(-10, 10), rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    const Vec3 b{rng.uniform(-10, 10), rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    const Vec3 d = box.min_image(a, b);
+    EXPECT_LE(std::fabs(d.x), box.length.x / 2 + 1e-9);
+    EXPECT_LE(std::fabs(d.y), box.length.y / 2 + 1e-9);
+    EXPECT_LE(std::fabs(d.z), box.length.z / 2 + 1e-9);
+  }
+}
+
+TEST(PbcProperty, MinImageShortestOverNeighboringImages) {
+  util::Rng rng(32);
+  const Box box(2.0);
+  for (int i = 0; i < 300; ++i) {
+    const Vec3 a{rng.uniform(0, 2), rng.uniform(0, 2), rng.uniform(0, 2)};
+    const Vec3 b{rng.uniform(0, 2), rng.uniform(0, 2), rng.uniform(0, 2)};
+    const double d = box.min_image(a, b).norm();
+    for (int ix = -1; ix <= 1; ++ix) {
+      for (int iy = -1; iy <= 1; ++iy) {
+        for (int iz = -1; iz <= 1; ++iz) {
+          const Vec3 img = b + Vec3{2.0 * ix, 2.0 * iy, 2.0 * iz};
+          EXPECT_LE(d, (a - img).norm() + 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST(PbcProperty, WrapIsIdempotent) {
+  util::Rng rng(33);
+  const Box box(1.7);
+  for (int i = 0; i < 1000; ++i) {
+    const Vec3 p{rng.uniform(-9, 9), rng.uniform(-9, 9), rng.uniform(-9, 9)};
+    const Vec3 w = box.wrap(p);
+    const Vec3 w2 = box.wrap(w);
+    EXPECT_GE(w.x, 0.0);
+    EXPECT_LT(w.x, box.length.x);
+    EXPECT_NEAR(w.x, w2.x, 1e-12);
+    EXPECT_NEAR(w.y, w2.y, 1e-12);
+    EXPECT_NEAR(w.z, w2.z, 1e-12);
+  }
+}
+
+TEST(PbcProperty, WrapPreservesMinImageDistances) {
+  util::Rng rng(34);
+  const Box box(2.5);
+  for (int i = 0; i < 500; ++i) {
+    const Vec3 a{rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    const Vec3 b{rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    EXPECT_NEAR(box.min_image(a, b).norm(),
+                box.min_image(box.wrap(a), box.wrap(b)).norm(), 1e-9);
+  }
+}
+
+TEST(ForceProperty, InvariantUnderGlobalTranslation) {
+  WaterBoxOptions opts;
+  opts.n_molecules = 64;
+  WaterSystem sys = build_water_box(opts);
+  const NeighborList list = build_neighbor_list(sys, 0.7);
+  const ForceEnergy before = compute_forces_reference(sys, list);
+
+  // Rigid translation of everything: forces must be identical because all
+  // displacements are; shifts recompute consistently.
+  const Vec3 t{0.37, -0.21, 0.93};
+  for (auto& p : sys.positions()) p += t;
+  const NeighborList list2 = build_neighbor_list(sys, 0.7);
+  ASSERT_EQ(list2.n_pairs(), list.n_pairs());
+  const ForceEnergy after = compute_forces_reference(sys, list2);
+  EXPECT_LT(max_force_rel_err(before.force, after.force), 1e-10);
+  EXPECT_NEAR(before.e_potential(), after.e_potential(),
+              1e-8 * std::fabs(before.e_potential()));
+}
+
+TEST(ForceProperty, InvariantUnderBoxWrap) {
+  WaterBoxOptions opts;
+  opts.n_molecules = 64;
+  opts.seed = 77;
+  WaterSystem sys = build_water_box(opts);
+  // Move a third of the molecules by whole box vectors.
+  util::Rng rng(5);
+  for (int m = 0; m < sys.n_molecules(); m += 3) {
+    const Vec3 shift{sys.box().length.x * static_cast<double>(1 + rng.uniform_u64(2)),
+                     -sys.box().length.y, 0.0};
+    for (int s = 0; s < 3; ++s) sys.pos(m, s) += shift;
+  }
+  WaterSystem wrapped = sys;
+  const NeighborList la = build_neighbor_list(sys, 0.7);
+  const NeighborList lb = build_neighbor_list(wrapped, 0.7);
+  const ForceEnergy fa = compute_forces_reference(sys, la);
+  const ForceEnergy fb = compute_forces_reference(wrapped, lb);
+  EXPECT_LT(max_force_rel_err(fa.force, fb.force), 1e-10);
+}
+
+class CutoffSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CutoffSweep, PairCountMonotoneAndShiftsExact) {
+  const double rc = GetParam();
+  WaterBoxOptions opts;
+  opts.n_molecules = 125;
+  const WaterSystem sys = build_water_box(opts);
+  const NeighborList list = build_neighbor_list(sys, rc);
+  // Every listed pair is within rc under its recorded shift, and the
+  // shifted distance equals the minimum-image distance.
+  for (int i = 0; i < list.n_molecules(); ++i) {
+    for (std::int32_t k = list.offsets[i]; k < list.offsets[i + 1]; ++k) {
+      const std::int32_t j = list.neighbors[k];
+      const Vec3 d = sys.molecule_center(i) -
+                     (sys.molecule_center(j) + list.shifts[k]);
+      EXPECT_LE(d.norm(), rc + 1e-9);
+      EXPECT_NEAR(
+          d.norm(),
+          sys.box().min_image(sys.molecule_center(i), sys.molecule_center(j)).norm(),
+          1e-9);
+    }
+  }
+  // Monotone in the cutoff.
+  if (rc > 0.45) {
+    const NeighborList smaller = build_neighbor_list(sys, rc - 0.1);
+    EXPECT_LE(smaller.n_pairs(), list.n_pairs());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, CutoffSweep,
+                         ::testing::Values(0.4, 0.5, 0.65, 0.8, 0.95));
+
+TEST(ShakeProperty, RecoversGeometryFromPerturbedState) {
+  WaterBoxOptions opts;
+  opts.n_molecules = 27;
+  WaterSystem sys = build_water_box(opts);
+  util::Rng rng(9);
+  for (auto& p : sys.positions()) {
+    p += Vec3{rng.uniform(-0.004, 0.004), rng.uniform(-0.004, 0.004),
+              rng.uniform(-0.004, 0.004)};
+  }
+  LeapfrogIntegrator integ(sys, [](const WaterSystem& s) {
+    ForceEnergy fe;
+    fe.force.assign(static_cast<std::size_t>(s.n_atoms()), Vec3{});
+    return fe;
+  });
+  integ.apply_constraints_to_positions();
+  const double d_hh = 2 * 0.1 * std::sin(109.47 / 2 * M_PI / 180.0);
+  for (int m = 0; m < sys.n_molecules(); ++m) {
+    EXPECT_NEAR((sys.pos(m, 1) - sys.pos(m, 0)).norm(), 0.1, 1e-6);
+    EXPECT_NEAR((sys.pos(m, 2) - sys.pos(m, 0)).norm(), 0.1, 1e-6);
+    EXPECT_NEAR((sys.pos(m, 2) - sys.pos(m, 1)).norm(), d_hh, 1e-6);
+  }
+}
+
+TEST(Minimizer, NeverIncreasesEnergy) {
+  WaterBoxOptions opts;
+  opts.n_molecules = 64;
+  opts.lattice_jitter = 0.3;  // deliberately clashy start
+  WaterSystem sys = build_water_box(opts);
+  auto force = [](const WaterSystem& s) {
+    return compute_forces_reference(s, build_neighbor_list(s, 0.7));
+  };
+  const double e0 = force(sys).e_potential();
+  double prev = e0;
+  for (int round = 0; round < 4; ++round) {
+    const double e = minimize_energy(sys, force, 10);
+    EXPECT_LE(e, prev + 1e-6);
+    prev = e;
+  }
+  EXPECT_LT(prev, e0);
+  // Constraints survived the minimization.
+  for (int m = 0; m < sys.n_molecules(); ++m) {
+    EXPECT_NEAR((sys.pos(m, 1) - sys.pos(m, 0)).norm(), 0.1, 1e-5);
+  }
+}
+
+TEST(SystemProperty, DensitySweepKeepsMoleculesInBox) {
+  for (double density : {20.0, 33.33, 50.0}) {
+    WaterBoxOptions opts;
+    opts.n_molecules = 100;
+    opts.number_density = density;
+    const WaterSystem sys = build_water_box(opts);
+    EXPECT_NEAR(sys.n_molecules() / sys.box().volume(), density, 1e-9);
+    for (int m = 0; m < sys.n_molecules(); ++m) {
+      const Vec3 c = sys.molecule_center(m);
+      const Vec3 w = sys.box().wrap(c);
+      EXPECT_NEAR((c - w).norm(), 0.0, 0.25);  // centers near primary cell
+    }
+  }
+}
+
+TEST(SystemProperty, SeedsProduceDifferentBoxes) {
+  WaterBoxOptions a;
+  a.seed = 1;
+  WaterBoxOptions b;
+  b.seed = 2;
+  a.n_molecules = b.n_molecules = 27;
+  const WaterSystem sa = build_water_box(a);
+  const WaterSystem sb = build_water_box(b);
+  int same = 0;
+  for (int i = 0; i < sa.n_atoms(); ++i) {
+    if (sa.pos(i).x == sb.pos(i).x) ++same;
+  }
+  EXPECT_LT(same, sa.n_atoms() / 10);
+}
+
+}  // namespace
+}  // namespace smd::md

@@ -1,0 +1,464 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/mem/addrgen.h"
+#include "src/mem/cache.h"
+#include "src/mem/dram.h"
+#include "src/mem/memsys.h"
+#include "src/mem/scatteradd.h"
+#include "src/util/rng.h"
+
+namespace smd::mem {
+namespace {
+
+MemSystemConfig small_config() {
+  MemSystemConfig cfg;
+  cfg.cache.total_words = 4096;
+  cfg.dram.access_latency = 20;
+  return cfg;
+}
+
+/// Drive the memory system until every issued op has completed.
+std::uint64_t run_to_completion(MemSystem& ms, std::uint64_t limit = 10'000'000) {
+  while (!ms.all_done()) {
+    ms.tick();
+    if (ms.now() > limit) {
+      ADD_FAILURE() << "memory system did not drain";
+      break;
+    }
+  }
+  return ms.now();
+}
+
+TEST(GlobalMemory, AllocReadWrite) {
+  GlobalMemory mem;
+  const auto a = mem.alloc(10);
+  const auto b = mem.alloc(5);
+  EXPECT_EQ(b, a + 10);
+  mem.write(a + 3, 7.5);
+  EXPECT_DOUBLE_EQ(mem.read(a + 3), 7.5);
+  mem.add(a + 3, 2.5);
+  EXPECT_DOUBLE_EQ(mem.read(a + 3), 10.0);
+}
+
+TEST(GlobalMemory, BlockHelpersBoundsChecked) {
+  GlobalMemory mem;
+  const auto a = mem.alloc(4);
+  mem.write_block(a, {1, 2, 3, 4});
+  EXPECT_EQ(mem.read_block(a, 4), (std::vector<double>{1, 2, 3, 4}));
+  EXPECT_THROW(mem.write_block(a + 2, {1, 2, 3}), std::runtime_error);
+  EXPECT_THROW(mem.read_block(a, 5), std::runtime_error);
+}
+
+TEST(AddrGen, StridedDense) {
+  MemOpDesc d;
+  d.kind = MemOpKind::kLoadStrided;
+  d.base = 100;
+  d.n_records = 3;
+  d.record_words = 2;
+  AddressGenerator ag;
+  ag.start(&d);
+  std::vector<std::uint64_t> addrs;
+  while (!ag.done()) {
+    addrs.push_back(ag.peek());
+    ag.advance();
+  }
+  EXPECT_EQ(addrs, (std::vector<std::uint64_t>{100, 101, 102, 103, 104, 105}));
+}
+
+TEST(AddrGen, StridedWithGap) {
+  MemOpDesc d;
+  d.kind = MemOpKind::kLoadStrided;
+  d.base = 0;
+  d.n_records = 2;
+  d.record_words = 2;
+  d.stride_words = 5;
+  AddressGenerator ag;
+  ag.start(&d);
+  std::vector<std::uint64_t> addrs;
+  while (!ag.done()) {
+    addrs.push_back(ag.peek());
+    ag.advance();
+  }
+  EXPECT_EQ(addrs, (std::vector<std::uint64_t>{0, 1, 5, 6}));
+}
+
+TEST(AddrGen, GatherUsesIndices) {
+  MemOpDesc d;
+  d.kind = MemOpKind::kLoadGather;
+  d.base = 10;
+  d.n_records = 3;
+  d.record_words = 3;
+  d.indices = {2, 0, 5};
+  AddressGenerator ag;
+  ag.start(&d);
+  std::vector<std::uint64_t> addrs;
+  while (!ag.done()) {
+    addrs.push_back(ag.peek());
+    ag.advance();
+  }
+  EXPECT_EQ(addrs, (std::vector<std::uint64_t>{16, 17, 18, 10, 11, 12, 25, 26, 27}));
+}
+
+TEST(AddrGen, ShortIndexStreamThrows) {
+  MemOpDesc d;
+  d.kind = MemOpKind::kLoadGather;
+  d.n_records = 3;
+  d.indices = {1};
+  AddressGenerator ag;
+  EXPECT_THROW(ag.start(&d), std::runtime_error);
+}
+
+TEST(CacheTags, HitAfterInstall) {
+  CacheConfig cfg;
+  cfg.total_words = 1024;
+  CacheTags tags(cfg);
+  EXPECT_EQ(tags.probe(40), CacheOutcome::kMiss);
+  bool ev, dirty;
+  std::uint64_t line;
+  tags.install(tags.line_of(40), &ev, &line, &dirty);
+  EXPECT_FALSE(ev);
+  EXPECT_EQ(tags.probe(40), CacheOutcome::kHit);
+  EXPECT_EQ(tags.probe(47), CacheOutcome::kHit);  // same 8-word line
+  EXPECT_EQ(tags.probe(48), CacheOutcome::kMiss); // next line
+}
+
+TEST(CacheTags, LruEvictionOrder) {
+  CacheConfig cfg;
+  cfg.total_words = 8 * 4 * 8;  // exactly 4 sets... keep small: 4 lines/set
+  cfg.n_banks = 1;
+  cfg.associativity = 2;
+  CacheTags tags(cfg);
+  const std::int64_t n_sets = cfg.total_words / cfg.line_words / cfg.associativity;
+  bool ev, dirty;
+  std::uint64_t evl;
+  // Fill one set with two lines, touch the first, install a third:
+  // the second (LRU) must be evicted.
+  const std::uint64_t l0 = 0, l1 = l0 + static_cast<std::uint64_t>(n_sets),
+                      l2 = l0 + 2 * static_cast<std::uint64_t>(n_sets);
+  tags.install(l0, &ev, &evl, &dirty);
+  tags.install(l1, &ev, &evl, &dirty);
+  tags.probe(l0 * 8);  // refresh l0
+  tags.install(l2, &ev, &evl, &dirty);
+  EXPECT_TRUE(ev);
+  EXPECT_EQ(evl, l1);
+}
+
+TEST(CacheTags, DirtyEvictionReported) {
+  CacheConfig cfg;
+  cfg.total_words = 8 * 2;  // 2 lines, 1 set at assoc 2
+  cfg.associativity = 2;
+  cfg.n_banks = 1;
+  CacheTags tags(cfg);
+  bool ev, dirty;
+  std::uint64_t evl;
+  tags.install(0, &ev, &evl, &dirty);
+  tags.mark_dirty(0);
+  tags.install(1, &ev, &evl, &dirty);
+  tags.install(2, &ev, &evl, &dirty);  // evicts line 0 (dirty)
+  EXPECT_TRUE(ev);
+  EXPECT_TRUE(dirty);
+  EXPECT_EQ(tags.stats().dirty_evictions, 1);
+}
+
+TEST(Dram, ReadCompletesAfterLatency) {
+  DramConfig cfg;
+  cfg.access_latency = 10;
+  Dram dram(cfg, 8);
+  ASSERT_TRUE(dram.try_read_line(3));
+  std::vector<std::uint64_t> done;
+  for (int t = 0; t < 200 && done.empty(); ++t) {
+    dram.tick();
+    for (auto line : dram.drain_completed_reads()) done.push_back(line);
+  }
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], 3u);
+  // Latency must be at least access_latency + transfer time.
+  EXPECT_GE(dram.now(), 10u);
+}
+
+TEST(Dram, PeakBandwidthApproached) {
+  // Stream many sequential lines through all channels and verify the
+  // sustained rate approaches n_channels * words_per_cycle.
+  DramConfig cfg;
+  cfg.access_latency = 10;
+  Dram dram(cfg, 8);
+  const int n_lines = 2000;
+  int issued = 0, completed = 0;
+  while (completed < n_lines) {
+    while (issued < n_lines && dram.try_read_line(static_cast<std::uint64_t>(issued))) ++issued;
+    dram.tick();
+    completed += static_cast<int>(dram.drain_completed_reads().size());
+    ASSERT_LT(dram.now(), 100000u);
+  }
+  const double words = static_cast<double>(n_lines) * 8;
+  const double peak = cfg.channel_words_per_cycle * cfg.n_channels;
+  const double achieved = words / static_cast<double>(dram.now());
+  EXPECT_GT(achieved, 0.75 * peak);
+  EXPECT_LE(achieved, peak * 1.01);
+}
+
+TEST(Dram, RandomAccessSlowerThanSequential) {
+  auto run = [](bool random) {
+    DramConfig cfg;
+    Dram dram(cfg, 8);
+    util::Rng rng(1);
+    const int n_lines = 1500;
+    int issued = 0, completed = 0;
+    while (completed < n_lines) {
+      while (issued < n_lines) {
+        const std::uint64_t line =
+            random ? rng.uniform_u64(1 << 20) : static_cast<std::uint64_t>(issued);
+        if (!dram.try_read_line(line)) break;
+        ++issued;
+      }
+      dram.tick();
+      completed += static_cast<int>(dram.drain_completed_reads().size());
+    }
+    return dram.now();
+  };
+  EXPECT_GT(run(true), run(false));
+}
+
+TEST(Dram, WritesDrain) {
+  DramConfig cfg;
+  Dram dram(cfg, 8);
+  ASSERT_TRUE(dram.try_write_words(100, 64));
+  int t = 0;
+  while (!dram.writes_drained() && t < 10000) {
+    dram.tick();
+    ++t;
+  }
+  EXPECT_TRUE(dram.writes_drained());
+  EXPECT_EQ(dram.stats().write_words, 64);
+}
+
+TEST(CombiningStore, MergesSameAddress) {
+  ScatterAddConfig cfg;
+  CombiningStore cs(cfg);
+  EXPECT_FALSE(cs.try_merge(42, 0));  // nothing in flight yet
+  EXPECT_TRUE(cs.try_allocate(42, 0));
+  EXPECT_TRUE(cs.try_merge(42, 1));
+  EXPECT_TRUE(cs.try_merge(42, 2));
+  EXPECT_EQ(cs.stats().combined, 2);
+  EXPECT_EQ(cs.occupancy(), 1);
+}
+
+TEST(CombiningStore, CapacityEnforced) {
+  ScatterAddConfig cfg;
+  cfg.combining_entries = 2;
+  CombiningStore cs(cfg);
+  EXPECT_TRUE(cs.try_allocate(1, 0));
+  EXPECT_TRUE(cs.try_allocate(2, 0));
+  EXPECT_FALSE(cs.try_allocate(3, 0));  // full, different address
+  EXPECT_TRUE(cs.try_merge(1, 0));      // merge still allowed
+  EXPECT_EQ(cs.stats().stalled, 1);
+}
+
+TEST(CombiningStore, MergeWindowExpires) {
+  ScatterAddConfig cfg;
+  cfg.latency = 4;
+  CombiningStore cs(cfg);
+  cs.try_allocate(7, 10);
+  cs.purge_expired(12);
+  EXPECT_FALSE(cs.empty());       // still in the pipeline at t=12
+  EXPECT_TRUE(cs.try_merge(7, 12));  // merging extends the window
+  cs.purge_expired(15);
+  EXPECT_FALSE(cs.empty());       // extended to 16
+  cs.purge_expired(17);
+  EXPECT_TRUE(cs.empty());
+  EXPECT_FALSE(cs.try_merge(7, 18));  // window closed
+}
+
+// ---------------------------------------------------------------------------
+// MemSystem end-to-end
+// ---------------------------------------------------------------------------
+
+TEST(MemSystem, StridedLoadFunctionalAndTimed) {
+  GlobalMemory mem;
+  const auto base = mem.alloc(1000);
+  for (int i = 0; i < 1000; ++i) mem.write(base + static_cast<std::uint64_t>(i), i * 0.5);
+  MemSystem ms(small_config(), &mem);
+
+  MemOpDesc d;
+  d.kind = MemOpKind::kLoadStrided;
+  d.base = base;
+  d.n_records = 100;
+  d.record_words = 4;
+  std::vector<double> dst;
+  const auto id = ms.issue(d, &dst, nullptr);
+  ASSERT_EQ(dst.size(), 400u);
+  for (int i = 0; i < 400; ++i) EXPECT_DOUBLE_EQ(dst[static_cast<std::size_t>(i)], i * 0.5);
+  EXPECT_FALSE(ms.op_done(id));
+  run_to_completion(ms);
+  EXPECT_TRUE(ms.op_done(id));
+  EXPECT_GT(ms.op_finish_time(id), 0u);
+}
+
+TEST(MemSystem, GatherLoadPullsIndexedRecords) {
+  GlobalMemory mem;
+  const auto base = mem.alloc(90);
+  for (int i = 0; i < 90; ++i) mem.write(base + static_cast<std::uint64_t>(i), i);
+  MemSystem ms(small_config(), &mem);
+  MemOpDesc d;
+  d.kind = MemOpKind::kLoadGather;
+  d.base = base;
+  d.n_records = 3;
+  d.record_words = 9;
+  d.indices = {5, 0, 9};
+  std::vector<double> dst;
+  ms.issue(d, &dst, nullptr);
+  run_to_completion(ms);
+  ASSERT_EQ(dst.size(), 27u);
+  EXPECT_DOUBLE_EQ(dst[0], 45.0);
+  EXPECT_DOUBLE_EQ(dst[9], 0.0);
+  EXPECT_DOUBLE_EQ(dst[18], 81.0);
+}
+
+TEST(MemSystem, StoreWritesThrough) {
+  GlobalMemory mem;
+  const auto base = mem.alloc(64);
+  MemSystem ms(small_config(), &mem);
+  MemOpDesc d;
+  d.kind = MemOpKind::kStoreStrided;
+  d.base = base;
+  d.n_records = 8;
+  d.record_words = 8;
+  std::vector<double> src(64);
+  std::iota(src.begin(), src.end(), 0.0);
+  ms.issue(d, nullptr, &src);
+  run_to_completion(ms);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_DOUBLE_EQ(mem.read(base + static_cast<std::uint64_t>(i)), i);
+  }
+  EXPECT_EQ(ms.dram_stats().write_words, 64);
+}
+
+TEST(MemSystem, ScatterAddAccumulates) {
+  GlobalMemory mem;
+  const auto base = mem.alloc(10);
+  MemSystem ms(small_config(), &mem);
+  MemOpDesc d;
+  d.kind = MemOpKind::kScatterAdd;
+  d.base = base;
+  d.n_records = 6;
+  d.record_words = 1;
+  d.indices = {3, 3, 3, 1, 3, 1};
+  const std::vector<double> src = {1, 2, 3, 10, 4, 20};
+  ms.issue(d, nullptr, &src);
+  run_to_completion(ms);
+  EXPECT_DOUBLE_EQ(mem.read(base + 3), 10.0);
+  EXPECT_DOUBLE_EQ(mem.read(base + 1), 30.0);
+  EXPECT_GT(ms.scatter_add_stats().combined, 0);
+}
+
+TEST(MemSystem, ScatterAddMatchesSequentialSumProperty) {
+  // Property: for adversarial random index multisets, scatter-add equals a
+  // sequential accumulation.
+  util::Rng rng(2024);
+  GlobalMemory mem;
+  const auto base = mem.alloc(32);
+  MemSystem ms(small_config(), &mem);
+  MemOpDesc d;
+  d.kind = MemOpKind::kScatterAdd;
+  d.base = base;
+  d.n_records = 500;
+  d.record_words = 1;
+  std::vector<double> src;
+  std::vector<double> expect(32, 0.0);
+  for (int i = 0; i < 500; ++i) {
+    const auto idx = rng.uniform_u64(32);
+    const double v = rng.uniform(-1, 1);
+    d.indices.push_back(idx);
+    src.push_back(v);
+    expect[idx] += v;
+  }
+  ms.issue(d, nullptr, &src);
+  run_to_completion(ms);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_NEAR(mem.read(base + static_cast<std::uint64_t>(i)), expect[static_cast<std::size_t>(i)], 1e-9);
+  }
+}
+
+TEST(MemSystem, RepeatedGatherHitsInCache) {
+  GlobalMemory mem;
+  const auto base = mem.alloc(256);
+  MemSystemConfig cfg = small_config();
+  MemSystem ms(cfg, &mem);
+  MemOpDesc d;
+  d.kind = MemOpKind::kLoadGather;
+  d.base = base;
+  d.n_records = 16;
+  d.record_words = 8;
+  for (int i = 0; i < 16; ++i) d.indices.push_back(static_cast<std::uint64_t>(i % 4));
+  std::vector<double> dst;
+  ms.issue(d, &dst, nullptr);
+  run_to_completion(ms);
+  // In-flight repeats fold into MSHRs: only 4 distinct lines reach DRAM.
+  EXPECT_EQ(ms.dram_stats().read_lines, 4);
+  EXPECT_GT(ms.cache_stats().secondary_misses, 0);
+  // A second pass over the now-resident lines hits outright.
+  std::vector<double> dst2;
+  ms.issue(d, &dst2, nullptr);
+  run_to_completion(ms);
+  EXPECT_EQ(ms.dram_stats().read_lines, 4);  // no new fetches
+  EXPECT_GT(ms.cache_stats().hit_rate(), 0.45);
+  EXPECT_EQ(dst2, dst);
+}
+
+TEST(MemSystem, ConcurrentOpsAllComplete) {
+  GlobalMemory mem;
+  const auto a = mem.alloc(4096);
+  const auto b = mem.alloc(4096);
+  MemSystem ms(small_config(), &mem);
+  std::vector<double> d1, d2;
+  MemOpDesc l1;
+  l1.kind = MemOpKind::kLoadStrided;
+  l1.base = a;
+  l1.n_records = 512;
+  l1.record_words = 8;
+  MemOpDesc l2 = l1;
+  l2.base = b;
+  const auto id1 = ms.issue(l1, &d1, nullptr);
+  const auto id2 = ms.issue(l2, &d2, nullptr);
+  run_to_completion(ms);
+  EXPECT_TRUE(ms.op_done(id1));
+  EXPECT_TRUE(ms.op_done(id2));
+  EXPECT_EQ(ms.stats().words_loaded, 8192);
+}
+
+TEST(MemSystem, SequentialLoadApproachesDramPeak) {
+  GlobalMemory mem;
+  const auto base = mem.alloc(65536);
+  MemSystemConfig cfg = small_config();
+  MemSystem ms(cfg, &mem);
+  MemOpDesc d;
+  d.kind = MemOpKind::kLoadStrided;
+  d.base = base;
+  d.n_records = 8192;
+  d.record_words = 8;
+  std::vector<double> dst;
+  ms.issue(d, &dst, nullptr);
+  const auto cycles = run_to_completion(ms);
+  const double words_per_cycle = 65536.0 / static_cast<double>(cycles);
+  const double dram_peak = cfg.dram.n_channels * cfg.dram.channel_words_per_cycle;
+  EXPECT_GT(words_per_cycle, 0.6 * dram_peak);   // streams well
+  EXPECT_LT(words_per_cycle, dram_peak * 1.01);  // never exceeds peak
+}
+
+TEST(MemSystem, ZeroLengthOpCompletesImmediately) {
+  GlobalMemory mem;
+  mem.alloc(8);
+  MemSystem ms(small_config(), &mem);
+  MemOpDesc d;
+  d.kind = MemOpKind::kLoadStrided;
+  d.n_records = 0;
+  std::vector<double> dst;
+  const auto id = ms.issue(d, &dst, nullptr);
+  EXPECT_TRUE(ms.op_done(id));
+  EXPECT_TRUE(dst.empty());
+}
+
+}  // namespace
+}  // namespace smd::mem

@@ -1,0 +1,155 @@
+// Tests for the Section 5.4 extension: interaction kernels for arbitrary
+// multi-site water models, validated against an independent reference
+// evaluated directly from the model's sites.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "src/core/kernels.h"
+#include "src/kernel/interp.h"
+#include "src/md/constants.h"
+#include "src/md/vec3.h"
+#include "src/md/water.h"
+#include "src/util/rng.h"
+
+namespace smd::core {
+namespace {
+
+/// Reference multi-site interaction: Coulomb on every charged site pair,
+/// LJ between the two site-0s. Returns forces on central and neighbor
+/// sites (flattened xyz).
+void reference_interaction(const md::WaterModel& m,
+                           const std::vector<md::Vec3>& c,
+                           const std::vector<md::Vec3>& n,
+                           std::vector<md::Vec3>* fc, std::vector<md::Vec3>* fn) {
+  const int S = static_cast<int>(m.sites.size());
+  fc->assign(static_cast<std::size_t>(S), {});
+  fn->assign(static_cast<std::size_t>(S), {});
+  for (int a = 0; a < S; ++a) {
+    for (int b = 0; b < S; ++b) {
+      const md::Vec3 d = c[static_cast<std::size_t>(a)] - n[static_cast<std::size_t>(b)];
+      const double r2 = d.norm2();
+      const double rinv = 1.0 / std::sqrt(r2);
+      const double rinv2 = rinv * rinv;
+      double fs = 0.0;
+      const double qq = md::kCoulombFactor *
+                        m.sites[static_cast<std::size_t>(a)].charge *
+                        m.sites[static_cast<std::size_t>(b)].charge;
+      if (qq != 0.0) fs += qq * rinv * rinv2;
+      if (a == 0 && b == 0 && (m.c6 != 0.0 || m.c12 != 0.0)) {
+        const double rinv6 = rinv2 * rinv2 * rinv2;
+        fs += (12.0 * m.c12 * rinv6 * rinv6 - 6.0 * m.c6 * rinv6) * rinv2;
+      }
+      (*fc)[static_cast<std::size_t>(a)] += d * fs;
+      (*fn)[static_cast<std::size_t>(b)] -= d * fs;
+    }
+  }
+}
+
+/// Run the multisite kernel on `pairs` random molecule pairs and compare
+/// against the reference. One cluster keeps the data layout trivial.
+void validate_model(const md::WaterModel& m, int pairs, std::uint64_t seed) {
+  const int S = static_cast<int>(m.sites.size());
+  util::Rng rng(seed);
+  const kernel::KernelDef def = build_multisite_kernel(m);
+
+  std::vector<double> c_pos, n_pos, shifts;
+  std::vector<std::vector<md::Vec3>> want_fc, want_fn;
+  for (int p = 0; p < pairs; ++p) {
+    const md::Vec3 oc{rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1)};
+    const md::Vec3 on = oc + md::Vec3{rng.uniform(0.3, 0.6), rng.uniform(0.3, 0.6),
+                                      rng.uniform(0.3, 0.6)};
+    const md::Vec3 shift{rng.uniform(-1, 1), 0.0, rng.uniform(-1, 1)};
+    std::vector<md::Vec3> c(static_cast<std::size_t>(S)), n(static_cast<std::size_t>(S));
+    for (int s = 0; s < S; ++s) {
+      c[static_cast<std::size_t>(s)] = oc + m.sites[static_cast<std::size_t>(s)].local_pos;
+      n[static_cast<std::size_t>(s)] = on + m.sites[static_cast<std::size_t>(s)].local_pos;
+      c_pos.insert(c_pos.end(), {c[static_cast<std::size_t>(s)].x, c[static_cast<std::size_t>(s)].y,
+                                 c[static_cast<std::size_t>(s)].z});
+      // Stream carries unshifted neighbors; the kernel applies the shift.
+      n_pos.insert(n_pos.end(),
+                   {n[static_cast<std::size_t>(s)].x - shift.x,
+                    n[static_cast<std::size_t>(s)].y - shift.y,
+                    n[static_cast<std::size_t>(s)].z - shift.z});
+    }
+    shifts.insert(shifts.end(), {shift.x, shift.y, shift.z});
+    std::vector<md::Vec3> fc, fn;
+    reference_interaction(m, c, n, &fc, &fn);
+    want_fc.push_back(fc);
+    want_fn.push_back(fn);
+  }
+
+  kernel::Interpreter interp(def, 1);
+  std::vector<double> got_fc, got_fn;
+  kernel::StreamBindings b;
+  b.inputs = {std::span<const double>(c_pos), std::span<const double>(n_pos),
+              std::span<const double>(shifts), {}, {}};
+  b.outputs = {nullptr, nullptr, nullptr, &got_fc, &got_fn};
+  interp.run(b, pairs);
+
+  ASSERT_EQ(got_fc.size(), static_cast<std::size_t>(pairs * 3 * S));
+  for (int p = 0; p < pairs; ++p) {
+    for (int s = 0; s < S; ++s) {
+      const std::size_t off = static_cast<std::size_t>((p * S + s) * 3);
+      EXPECT_NEAR(got_fc[off + 0], want_fc[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)].x, 1e-8) << m.name;
+      EXPECT_NEAR(got_fc[off + 1], want_fc[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)].y, 1e-8);
+      EXPECT_NEAR(got_fc[off + 2], want_fc[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)].z, 1e-8);
+      EXPECT_NEAR(got_fn[off + 0], want_fn[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)].x, 1e-8);
+      EXPECT_NEAR(got_fn[off + 1], want_fn[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)].y, 1e-8);
+      EXPECT_NEAR(got_fn[off + 2], want_fn[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)].z, 1e-8);
+    }
+  }
+}
+
+TEST(Multisite, SpcKernelMatchesReference) { validate_model(md::spc(), 10, 1); }
+TEST(Multisite, Tip5pKernelMatchesReference) { validate_model(md::tip5p(), 10, 2); }
+TEST(Multisite, PpcKernelMatchesReference) { validate_model(md::ppc(), 10, 3); }
+
+TEST(Multisite, SpcMultisiteAgreesWithHandwrittenSpcKernel) {
+  // The generalized builder specialized to SPC must census the same
+  // divide/sqrt structure as the hand-written expanded kernel.
+  const auto general = build_multisite_kernel(md::spc()).body_census();
+  const auto hand = interaction_flops(md::spc());
+  EXPECT_EQ(general.divides, hand.divides);
+  EXPECT_EQ(general.square_roots, hand.square_roots);
+  EXPECT_NEAR(static_cast<double>(general.flops),
+              static_cast<double>(hand.flops), 12.0);
+}
+
+TEST(Multisite, InertSitePairsAreSkipped) {
+  // TIP5P: oxygen is charge-neutral, so O-H and O-L pairs have no Coulomb
+  // work; only O-O (LJ) plus the 16 charged pairs remain.
+  const MultisiteProfile p = profile_multisite_kernel(md::tip5p());
+  EXPECT_EQ(p.sites, 5);
+  EXPECT_EQ(p.active_pairs, 17);  // 4x4 charged + OO LJ
+  EXPECT_EQ(p.census.square_roots, 17);
+}
+
+TEST(Multisite, ComplexModelsRaiseArithmeticIntensity) {
+  // The paper's Section 5.4 claim, quantified: TIP5P (five sites, four of
+  // them charged) does more arithmetic per word than SPC and projects to
+  // higher sustained GFLOPS. (Our PPC row is a *static* effective-charge
+  // proxy -- the real polarizable model recomputes charges every step,
+  // which is exactly the extra arithmetic the paper is pointing at; a
+  // static proxy with a neutral oxygen actually loses intensity.)
+  const MultisiteProfile spc = profile_multisite_kernel(md::spc());
+  const MultisiteProfile tip5p = profile_multisite_kernel(md::tip5p());
+  EXPECT_GT(tip5p.arithmetic_intensity, spc.arithmetic_intensity);
+  EXPECT_GT(tip5p.projected_gflops, spc.projected_gflops);
+  EXPECT_GT(tip5p.census.flops, spc.census.flops);
+}
+
+TEST(Multisite, ProfileComputeVsBandwidthBound) {
+  // With generous memory bandwidth the projection is compute-bound and
+  // scales ~linearly with cluster count.
+  const MultisiteProfile p16 =
+      profile_multisite_kernel(md::spc(), {.unroll = 2}, 16, 1000.0);
+  const MultisiteProfile p32 =
+      profile_multisite_kernel(md::spc(), {.unroll = 2}, 32, 1000.0);
+  EXPECT_NEAR(p32.projected_gflops / p16.projected_gflops, 2.0, 0.01);
+}
+
+}  // namespace
+}  // namespace smd::core

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "src/net/multinode.h"
+#include "src/net/topology.h"
+
+namespace smd::net {
+namespace {
+
+TEST(Topology, TierClassification) {
+  const Topology topo{NetworkConfig{}};
+  EXPECT_EQ(topo.tier(0, 0), Tier::kSelf);
+  EXPECT_EQ(topo.tier(0, 15), Tier::kBoard);
+  EXPECT_EQ(topo.tier(0, 16), Tier::kBackplane);
+  EXPECT_EQ(topo.tier(0, 511), Tier::kBackplane);
+  EXPECT_EQ(topo.tier(0, 512), Tier::kSystem);
+}
+
+TEST(Topology, SystemScalesTo16384Nodes) {
+  // Paper Section 2: "scalable up to a 16,384 processor PFLOPS system"
+  // (2 PFLOPS at 128 GFLOPS per node).
+  const NetworkConfig cfg;
+  EXPECT_EQ(cfg.max_nodes(), 16384);
+  EXPECT_NEAR(cfg.max_nodes() * 128.0 / 1e6, 2.097, 0.01);  // PFLOPS
+}
+
+TEST(Topology, LatencyGrowsWithTier) {
+  const Topology topo{NetworkConfig{}};
+  const double board = topo.route(0, 1).latency_ns;
+  const double backplane = topo.route(0, 100).latency_ns;
+  const double system = topo.route(0, 1000).latency_ns;
+  EXPECT_LT(board, backplane);
+  EXPECT_LT(backplane, system);
+  EXPECT_EQ(topo.route(0, 1).hops, 1);
+  EXPECT_EQ(topo.route(0, 100).hops, 3);
+  EXPECT_EQ(topo.route(0, 1000).hops, 5);
+}
+
+TEST(Topology, MessageTimeHasLatencyAndBandwidthTerms) {
+  const Topology topo{NetworkConfig{}};
+  const double small = topo.message_seconds(0, 1, 8);
+  const double large = topo.message_seconds(0, 1, 8 << 20);
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(large, small);
+  // An 8 MB message at 2.5 GB/s takes ~3.3 ms, dwarfing latency.
+  EXPECT_NEAR(large, (8.0 * (1 << 20)) / 2.5e9, 1e-4);
+}
+
+TEST(Topology, RejectsOutOfRangeNodes) {
+  const Topology topo{NetworkConfig{}};
+  EXPECT_THROW(topo.route(0, 1 << 20), std::runtime_error);
+}
+
+TEST(Topology, BisectionScalesLinearly) {
+  const Topology topo{NetworkConfig{}};
+  EXPECT_DOUBLE_EQ(topo.bisection_gbytes(64), 2.0 * topo.bisection_gbytes(32));
+}
+
+TEST(Scaling, SingleNodeMatchesCalibration) {
+  ScalingWorkload w;
+  const ScalingModel model(w, NetworkConfig{});
+  const ScalingPoint p1 = model.at(1);
+  EXPECT_DOUBLE_EQ(p1.speedup, 1.0);
+  EXPECT_DOUBLE_EQ(p1.efficiency, 1.0);
+  EXPECT_EQ(p1.network_s, 0.0);
+  EXPECT_GT(p1.step_s, 0.0);
+}
+
+TEST(Scaling, EfficiencyDecaysForSmallSystem) {
+  // 900 molecules across many nodes: halo exchange costs bite, so
+  // efficiency decays monotonically and speedup saturates well below
+  // linear (it may even dip once messages cross network tiers).
+  ScalingWorkload w;
+  const ScalingModel model(w, NetworkConfig{});
+  const auto pts = model.sweep({1, 2, 4, 8, 16, 32, 64});
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LE(pts[i].efficiency, pts[i - 1].efficiency + 1e-9);
+  }
+  EXPECT_GT(pts[1].speedup, 1.2);      // some parallel benefit
+  EXPECT_LT(pts.back().speedup, 0.5 * 64);  // far from linear
+}
+
+TEST(Scaling, LargerSystemScalesBetter) {
+  ScalingWorkload small;
+  small.n_molecules = 900;
+  ScalingWorkload large;
+  large.n_molecules = 115200;  // 128x the paper system
+  const ScalingModel ms(small, NetworkConfig{});
+  const ScalingModel ml(large, NetworkConfig{});
+  EXPECT_GT(ml.at(64).efficiency, ms.at(64).efficiency);
+}
+
+TEST(Scaling, HaloFractionShrinksWithSubdomainSize) {
+  ScalingWorkload large;
+  large.n_molecules = 115200;
+  const ScalingModel model(large, NetworkConfig{});
+  EXPECT_LT(model.at(8).halo_fraction, model.at(64).halo_fraction);
+}
+
+}  // namespace
+}  // namespace smd::net

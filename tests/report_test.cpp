@@ -1,0 +1,106 @@
+// Tests for the shared report formatters and the execution-trace renderer:
+// these produce the bench output that EXPERIMENTS.md quotes, so their
+// structure (headers, rows, derived values) is pinned here.
+#include <gtest/gtest.h>
+
+#include "src/core/report.h"
+#include "src/core/run.h"
+#include "src/sim/trace.h"
+
+namespace smd::core {
+namespace {
+
+VariantResult fake_result(Variant v) {
+  VariantResult r;
+  r.variant = v;
+  r.name = variant_name(v);
+  r.solution_gflops = 10.0;
+  r.all_gflops = 12.5;
+  r.mem_refs = 123456;
+  r.time_ms = 0.5;
+  r.ai_calculated = 9.9;
+  r.ai_measured = 9.5;
+  r.lrf_fraction = 0.94;
+  r.srf_fraction = 0.03;
+  r.mem_fraction = 0.03;
+  r.n_central_blocks = 9156;
+  r.n_neighbor_slots = 73344;
+  return r;
+}
+
+TEST(Report, MachineTableListsPaperParameters) {
+  const std::string s = format_machine_table(sim::MachineConfig::merrimac());
+  for (const char* needle :
+       {"stream cache banks", "scatter-add", "combining store",
+        "address generators", "38.4 GB/s", "SRF size", "128"}) {
+    EXPECT_NE(s.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Report, VariantsTableHasAllFiveRows) {
+  const std::string s = format_variants_table();
+  for (const char* name :
+       {"expanded", "fixed", "variable", "duplicated", "Pentium 4"}) {
+    EXPECT_NE(s.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Report, ArithmeticIntensityTableShowsBothColumns) {
+  const std::string s =
+      format_arithmetic_intensity_table({fake_result(Variant::kVariable)});
+  EXPECT_NE(s.find("Calculated"), std::string::npos);
+  EXPECT_NE(s.find("Measured"), std::string::npos);
+  EXPECT_NE(s.find("9.9"), std::string::npos);
+  EXPECT_NE(s.find("9.5"), std::string::npos);
+}
+
+TEST(Report, LocalityTablePercentagesRendered) {
+  const std::string s = format_locality_table({fake_result(Variant::kFixed)});
+  EXPECT_NE(s.find("94.0%"), std::string::npos);
+  EXPECT_NE(s.find("%LRF"), std::string::npos);
+}
+
+TEST(Report, PerformanceTableIncludesBaselines) {
+  const std::string s = format_performance_table(
+      {fake_result(Variant::kExpanded)}, 3.27, 42.4);
+  EXPECT_NE(s.find("Pentium 4"), std::string::npos);
+  EXPECT_NE(s.find("3.27"), std::string::npos);
+  EXPECT_NE(s.find("optimal"), std::string::npos);
+  // Omitting the baselines drops those lines.
+  const std::string bare =
+      format_performance_table({fake_result(Variant::kExpanded)}, 0.0, 0.0);
+  EXPECT_EQ(bare.find("Pentium 4"), std::string::npos);
+}
+
+TEST(Report, BlockingTableMarksMinimum) {
+  BlockingModelParams params;
+  params.variable_kernel_cycles = 1e5;
+  params.variable_memory_cycles = 2.5e5;
+  const BlockingModel model(params);
+  const std::string s =
+      format_blocking_table(model.sweep(0.8, 3.0, 5), model.minimum());
+  EXPECT_NE(s.find("minimum"), std::string::npos);
+  EXPECT_NE(s.find("molecules per cluster"), std::string::npos);
+}
+
+TEST(Trace, AsciiBarsReflectOccupancy) {
+  sim::Timeline tl;
+  tl.add(sim::Lane::kKernel, 0, 100, "k");   // fully busy
+  tl.add(sim::Lane::kMemory, 0, 50, "m");    // half busy
+  const std::string s = tl.ascii(100, 100);
+  // One data row: kernel bar longer than memory bar.
+  const auto line = s.substr(s.find('\n') + 1);
+  const auto kernel_hashes = std::count(line.begin(), line.begin() + 20, '#');
+  const auto memory_hashes = std::count(line.begin() + 20, line.end(), '#');
+  EXPECT_GT(kernel_hashes, memory_hashes);
+}
+
+TEST(Trace, ZeroLengthIntervalIgnored) {
+  sim::Timeline tl;
+  tl.add(sim::Lane::kKernel, 10, 10, "empty");
+  EXPECT_EQ(tl.busy_cycles(sim::Lane::kKernel, 100), 0u);
+  EXPECT_TRUE(tl.intervals().empty());
+}
+
+}  // namespace
+}  // namespace smd::core

@@ -1,0 +1,190 @@
+// Property tests for the VLIW scheduler: for randomly generated kernels,
+// every schedule must respect resource limits, dependence latencies and
+// theoretical lower bounds, pipelined or not, at any unroll factor.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/kernel/cost.h"
+#include "src/kernel/interp.h"
+#include "src/kernel/ir.h"
+#include "src/kernel/schedule.h"
+#include "src/util/rng.h"
+
+namespace smd::kernel {
+namespace {
+
+using Reg = KernelBuilder::Reg;
+
+/// Generate a random but well-formed kernel: a few input/output streams,
+/// a soup of arithmetic with genuine dependence chains, an optional
+/// loop-carried accumulator, and stream writes of the final values.
+KernelDef random_kernel(std::uint64_t seed) {
+  util::Rng rng(seed);
+  KernelBuilder kb("random_" + std::to_string(seed));
+  const int in_words = 2 + static_cast<int>(rng.uniform_u64(6));
+  const int s_in = kb.stream_in("x", in_words);
+  const int s_out = kb.stream_out("y", 1);
+
+  kb.section(Section::kPrologue);
+  const Reg c0 = kb.constant(rng.uniform(0.5, 2.0));
+  const Reg acc = kb.constant(0.0);  // loop-carried accumulator register
+
+  kb.section(Section::kBody);
+  auto xs = kb.read(s_in, in_words);
+  std::vector<Reg> live(xs.begin(), xs.end());
+  live.push_back(c0);
+
+  const int n_ops = 5 + static_cast<int>(rng.uniform_u64(40));
+  for (int i = 0; i < n_ops; ++i) {
+    const Reg a = live[rng.uniform_u64(live.size())];
+    const Reg b = live[rng.uniform_u64(live.size())];
+    const Reg c = live[rng.uniform_u64(live.size())];
+    switch (rng.uniform_u64(6)) {
+      case 0: live.push_back(kb.add(a, b)); break;
+      case 1: live.push_back(kb.sub(a, b)); break;
+      case 2: live.push_back(kb.mul(a, b)); break;
+      case 3: live.push_back(kb.madd(a, b, c)); break;
+      case 4: live.push_back(kb.rsqrt(kb.madd(a, a, kb.mul(b, b)))); break;
+      case 5: live.push_back(kb.sel(kb.cmp_lt(a, b), a, c)); break;
+    }
+  }
+  if (rng.uniform() < 0.5) kb.add_to(acc, acc, live.back());
+  kb.write(s_out, live.back(), 1);
+  return kb.build();
+}
+
+class SchedProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(SchedProperty, ResourcesAndDependencesRespected) {
+  const auto [seed, unroll, pipelined] = GetParam();
+  const KernelDef def = random_kernel(static_cast<std::uint64_t>(seed));
+  ScheduleOptions opts;
+  opts.unroll = unroll;
+  opts.software_pipeline = pipelined;
+  const Schedule s = schedule_body(def, opts);
+
+  ASSERT_GT(s.ii, 0);
+
+  // --- FPU reservation table: never more than one op per FPU per cycle,
+  // iterative ops occupying consecutive modulo slots.
+  const int window = pipelined ? s.ii : s.depth + 1;
+  std::vector<std::vector<int>> usage(static_cast<std::size_t>(window),
+                                      std::vector<int>(4, 0));
+  for (const auto& op : s.ops) {
+    if (op.fpu < 0) continue;
+    ASSERT_LT(op.fpu, 4);
+    const OpCost c = op_cost(op.op);
+    for (int k = 0; k < c.fpu_slots; ++k) {
+      const int t = pipelined ? (op.cycle + k) % s.ii : op.cycle + k;
+      ASSERT_LT(t, window);
+      ++usage[static_cast<std::size_t>(t)][static_cast<std::size_t>(op.fpu)];
+    }
+  }
+  for (const auto& row : usage) {
+    for (int c : row) EXPECT_LE(c, 1);
+  }
+
+  // --- Lower bounds: II is at least the FPU resource bound and the
+  // longest single occupancy.
+  int slot_cycles = 0;
+  int max_slots = 1;
+  for (const auto& op : s.ops) {
+    slot_cycles += op_cost(op.op).fpu_slots;
+    max_slots = std::max(max_slots, op_cost(op.op).fpu_slots);
+  }
+  if (pipelined) {
+    EXPECT_GE(s.ii, (slot_cycles + 3) / 4);
+    EXPECT_GE(s.ii, max_slots);
+  }
+
+  // --- Issue rate and occupancy are valid fractions.
+  EXPECT_GE(s.issue_rate, 0.0);
+  EXPECT_LE(s.issue_rate, 1.0);
+  EXPECT_LE(s.fpu_occupancy, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomKernels, SchedProperty,
+    ::testing::Combine(::testing::Range(1, 13),      // seeds
+                       ::testing::Values(1, 2, 3),   // unroll
+                       ::testing::Bool()));          // pipelined
+
+class SchedMonotonic : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedMonotonic, PipeliningNeverHurtsSteadyState) {
+  const KernelDef def = random_kernel(static_cast<std::uint64_t>(GetParam()) + 100);
+  ScheduleOptions plain;
+  plain.software_pipeline = false;
+  ScheduleOptions swp;
+  swp.software_pipeline = true;
+  const Schedule a = schedule_body(def, plain);
+  const Schedule b = schedule_body(def, swp);
+  EXPECT_LE(b.cycles_per_iteration(), a.cycles_per_iteration() + 1e-9);
+}
+
+TEST_P(SchedMonotonic, WiderClusterIsNotSlower) {
+  const KernelDef def = random_kernel(static_cast<std::uint64_t>(GetParam()) + 200);
+  ScheduleOptions narrow;
+  narrow.n_fpus = 2;
+  ScheduleOptions wide;
+  wide.n_fpus = 8;
+  const Schedule a = schedule_body(def, narrow);
+  const Schedule b = schedule_body(def, wide);
+  EXPECT_LE(b.ii, a.ii);
+}
+
+TEST_P(SchedMonotonic, ScheduleIsDeterministic) {
+  const KernelDef def = random_kernel(static_cast<std::uint64_t>(GetParam()) + 300);
+  const Schedule a = schedule_body(def, {});
+  const Schedule b = schedule_body(def, {});
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  EXPECT_EQ(a.ii, b.ii);
+  for (std::size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_EQ(a.ops[i].cycle, b.ops[i].cycle);
+    EXPECT_EQ(a.ops[i].fpu, b.ops[i].fpu);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedMonotonic, ::testing::Range(1, 9));
+
+/// Random kernels must also interpret deterministically and produce
+/// identical results across cluster counts when the computation is
+/// element-wise (no loop-carried state, single-element records).
+TEST(InterpProperty, ElementwiseKernelIndependentOfClusterCount) {
+  KernelBuilder kb("elementwise");
+  const int s_in = kb.stream_in("x", 1);
+  const int s_out = kb.stream_out("y", 1);
+  kb.section(Section::kPrologue);
+  const Reg half = kb.constant(0.5);
+  kb.section(Section::kBody);
+  const auto x = kb.read(s_in, 1);
+  const Reg y = kb.madd(x[0], x[0], kb.rsqrt(kb.madd(x[0], x[0], half)));
+  kb.write(s_out, y, 1);
+  const KernelDef def = kb.build();
+
+  std::vector<double> xs(64);
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = 0.25 * static_cast<double>(i) + 1;
+
+  std::vector<double> y4, y16;
+  {
+    Interpreter interp(def, 4);
+    StreamBindings b;
+    b.inputs = {std::span<const double>(xs), {}};
+    b.outputs = {nullptr, &y4};
+    interp.run(b, 16);
+  }
+  {
+    Interpreter interp(def, 16);
+    StreamBindings b;
+    b.inputs = {std::span<const double>(xs), {}};
+    b.outputs = {nullptr, &y16};
+    interp.run(b, 4);
+  }
+  EXPECT_EQ(y4, y16);
+}
+
+}  // namespace
+}  // namespace smd::kernel

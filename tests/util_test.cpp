@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace smd::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64()) ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformU64Unbiased) {
+  Rng r(99);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[r.uniform_u64(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 10.0, 5.0 * std::sqrt(n / 10.0));
+  }
+}
+
+TEST(Rng, NormalMomentsCorrect) {
+  Rng r(5);
+  Accumulator acc;
+  for (int i = 0; i < 200000; ++i) acc.add(r.normal());
+  EXPECT_NEAR(acc.mean(), 0.0, 0.02);
+  EXPECT_NEAR(acc.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, ReseedResetsStream) {
+  Rng r(42);
+  const auto v1 = r.next_u64();
+  r.next_u64();
+  r.reseed(42);
+  EXPECT_EQ(r.next_u64(), v1);
+}
+
+TEST(Accumulator, BasicStatistics) {
+  Accumulator a;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) a.add(x);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 10.0);
+  EXPECT_NEAR(a.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Accumulator, EmptyIsSafe) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, SingleValueHasZeroVariance) {
+  Accumulator a;
+  a.add(3.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(-100.0);  // clamps to bucket 0
+  h.add(100.0);   // clamps to last bucket
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(5), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(5), 5.0);
+}
+
+TEST(RelErr, SymmetricAndScaled) {
+  EXPECT_DOUBLE_EQ(rel_err(1.0, 1.0), 0.0);
+  EXPECT_NEAR(rel_err(100.0, 99.0), 0.01, 1e-12);
+  EXPECT_DOUBLE_EQ(rel_err(1.0, 2.0), rel_err(2.0, 1.0));
+  // floor prevents blowup near zero
+  EXPECT_LE(rel_err(0.0, 1e-13, 1e-12), 1.0);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1.50"});
+  t.add_row({"b", "20.00"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("20.00"), std::string::npos);
+  // header separator present
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::integer(1234567), "1,234,567");
+  EXPECT_EQ(Table::integer(-1000), "-1,000");
+  EXPECT_EQ(Table::integer(999), "999");
+  EXPECT_EQ(Table::percent(0.945, 1), "94.5%");
+}
+
+}  // namespace
+}  // namespace smd::util
