@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_watermodels.dir/bench_ablation_watermodels.cpp.o"
+  "CMakeFiles/bench_ablation_watermodels.dir/bench_ablation_watermodels.cpp.o.d"
+  "bench_ablation_watermodels"
+  "bench_ablation_watermodels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_watermodels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

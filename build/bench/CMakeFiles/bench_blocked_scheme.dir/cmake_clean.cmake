@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blocked_scheme.dir/bench_blocked_scheme.cpp.o"
+  "CMakeFiles/bench_blocked_scheme.dir/bench_blocked_scheme.cpp.o.d"
+  "bench_blocked_scheme"
+  "bench_blocked_scheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blocked_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_schedule.dir/bench_fig10_schedule.cpp.o"
+  "CMakeFiles/bench_fig10_schedule.dir/bench_fig10_schedule.cpp.o.d"
+  "bench_fig10_schedule"
+  "bench_fig10_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

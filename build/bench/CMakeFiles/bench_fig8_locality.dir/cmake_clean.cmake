@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_locality.dir/bench_fig8_locality.cpp.o"
+  "CMakeFiles/bench_fig8_locality.dir/bench_fig8_locality.cpp.o.d"
+  "bench_fig8_locality"
+  "bench_fig8_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig9_performance.cpp" "bench/CMakeFiles/bench_fig9_performance.dir/bench_fig9_performance.cpp.o" "gcc" "bench/CMakeFiles/bench_fig9_performance.dir/bench_fig9_performance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/smd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/smd_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/smd_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/smd_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/smd_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/smd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/smd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

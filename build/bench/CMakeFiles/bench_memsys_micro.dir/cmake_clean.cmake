@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memsys_micro.dir/bench_memsys_micro.cpp.o"
+  "CMakeFiles/bench_memsys_micro.dir/bench_memsys_micro.cpp.o.d"
+  "bench_memsys_micro"
+  "bench_memsys_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memsys_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

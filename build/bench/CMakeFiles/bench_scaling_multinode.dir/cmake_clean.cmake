@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_multinode.dir/bench_scaling_multinode.cpp.o"
+  "CMakeFiles/bench_scaling_multinode.dir/bench_scaling_multinode.cpp.o.d"
+  "bench_scaling_multinode"
+  "bench_scaling_multinode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_multinode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

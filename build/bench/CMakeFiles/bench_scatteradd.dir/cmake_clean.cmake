@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scatteradd.dir/bench_scatteradd.cpp.o"
+  "CMakeFiles/bench_scatteradd.dir/bench_scatteradd.cpp.o.d"
+  "bench_scatteradd"
+  "bench_scatteradd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scatteradd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_watermodels.dir/bench_table5_watermodels.cpp.o"
+  "CMakeFiles/bench_table5_watermodels.dir/bench_table5_watermodels.cpp.o.d"
+  "bench_table5_watermodels"
+  "bench_table5_watermodels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_watermodels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streammd_cli.dir/streammd_cli.cpp.o"
+  "CMakeFiles/streammd_cli.dir/streammd_cli.cpp.o.d"
+  "streammd_cli"
+  "streammd_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streammd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/water_box_md.dir/water_box_md.cpp.o"
+  "CMakeFiles/water_box_md.dir/water_box_md.cpp.o.d"
+  "water_box_md"
+  "water_box_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/water_box_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for water_box_md.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smd_baseline.dir/gromacs_like.cpp.o"
+  "CMakeFiles/smd_baseline.dir/gromacs_like.cpp.o.d"
+  "CMakeFiles/smd_baseline.dir/p4model.cpp.o"
+  "CMakeFiles/smd_baseline.dir/p4model.cpp.o.d"
+  "libsmd_baseline.a"
+  "libsmd_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smd_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmd_baseline.a"
+)

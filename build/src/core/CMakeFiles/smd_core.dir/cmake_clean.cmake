@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smd_core.dir/blocking.cpp.o"
+  "CMakeFiles/smd_core.dir/blocking.cpp.o.d"
+  "CMakeFiles/smd_core.dir/kernels.cpp.o"
+  "CMakeFiles/smd_core.dir/kernels.cpp.o.d"
+  "CMakeFiles/smd_core.dir/layouts.cpp.o"
+  "CMakeFiles/smd_core.dir/layouts.cpp.o.d"
+  "CMakeFiles/smd_core.dir/program.cpp.o"
+  "CMakeFiles/smd_core.dir/program.cpp.o.d"
+  "CMakeFiles/smd_core.dir/report.cpp.o"
+  "CMakeFiles/smd_core.dir/report.cpp.o.d"
+  "CMakeFiles/smd_core.dir/run.cpp.o"
+  "CMakeFiles/smd_core.dir/run.cpp.o.d"
+  "libsmd_core.a"
+  "libsmd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

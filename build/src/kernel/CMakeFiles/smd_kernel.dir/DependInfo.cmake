@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/interp.cpp" "src/kernel/CMakeFiles/smd_kernel.dir/interp.cpp.o" "gcc" "src/kernel/CMakeFiles/smd_kernel.dir/interp.cpp.o.d"
+  "/root/repo/src/kernel/ir.cpp" "src/kernel/CMakeFiles/smd_kernel.dir/ir.cpp.o" "gcc" "src/kernel/CMakeFiles/smd_kernel.dir/ir.cpp.o.d"
+  "/root/repo/src/kernel/schedule.cpp" "src/kernel/CMakeFiles/smd_kernel.dir/schedule.cpp.o" "gcc" "src/kernel/CMakeFiles/smd_kernel.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/smd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smd_kernel.dir/interp.cpp.o"
+  "CMakeFiles/smd_kernel.dir/interp.cpp.o.d"
+  "CMakeFiles/smd_kernel.dir/ir.cpp.o"
+  "CMakeFiles/smd_kernel.dir/ir.cpp.o.d"
+  "CMakeFiles/smd_kernel.dir/schedule.cpp.o"
+  "CMakeFiles/smd_kernel.dir/schedule.cpp.o.d"
+  "libsmd_kernel.a"
+  "libsmd_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smd_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/md/force_ref.cpp" "src/md/CMakeFiles/smd_md.dir/force_ref.cpp.o" "gcc" "src/md/CMakeFiles/smd_md.dir/force_ref.cpp.o.d"
+  "/root/repo/src/md/integrator.cpp" "src/md/CMakeFiles/smd_md.dir/integrator.cpp.o" "gcc" "src/md/CMakeFiles/smd_md.dir/integrator.cpp.o.d"
+  "/root/repo/src/md/neighborlist.cpp" "src/md/CMakeFiles/smd_md.dir/neighborlist.cpp.o" "gcc" "src/md/CMakeFiles/smd_md.dir/neighborlist.cpp.o.d"
+  "/root/repo/src/md/system.cpp" "src/md/CMakeFiles/smd_md.dir/system.cpp.o" "gcc" "src/md/CMakeFiles/smd_md.dir/system.cpp.o.d"
+  "/root/repo/src/md/water.cpp" "src/md/CMakeFiles/smd_md.dir/water.cpp.o" "gcc" "src/md/CMakeFiles/smd_md.dir/water.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/smd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smd_md.dir/force_ref.cpp.o"
+  "CMakeFiles/smd_md.dir/force_ref.cpp.o.d"
+  "CMakeFiles/smd_md.dir/integrator.cpp.o"
+  "CMakeFiles/smd_md.dir/integrator.cpp.o.d"
+  "CMakeFiles/smd_md.dir/neighborlist.cpp.o"
+  "CMakeFiles/smd_md.dir/neighborlist.cpp.o.d"
+  "CMakeFiles/smd_md.dir/system.cpp.o"
+  "CMakeFiles/smd_md.dir/system.cpp.o.d"
+  "CMakeFiles/smd_md.dir/water.cpp.o"
+  "CMakeFiles/smd_md.dir/water.cpp.o.d"
+  "libsmd_md.a"
+  "libsmd_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smd_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

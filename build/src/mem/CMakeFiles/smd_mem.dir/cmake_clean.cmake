@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smd_mem.dir/addrgen.cpp.o"
+  "CMakeFiles/smd_mem.dir/addrgen.cpp.o.d"
+  "CMakeFiles/smd_mem.dir/cache.cpp.o"
+  "CMakeFiles/smd_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/smd_mem.dir/dram.cpp.o"
+  "CMakeFiles/smd_mem.dir/dram.cpp.o.d"
+  "CMakeFiles/smd_mem.dir/memsys.cpp.o"
+  "CMakeFiles/smd_mem.dir/memsys.cpp.o.d"
+  "CMakeFiles/smd_mem.dir/scatteradd.cpp.o"
+  "CMakeFiles/smd_mem.dir/scatteradd.cpp.o.d"
+  "libsmd_mem.a"
+  "libsmd_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smd_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

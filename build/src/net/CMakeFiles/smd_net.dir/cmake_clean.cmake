@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smd_net.dir/multinode.cpp.o"
+  "CMakeFiles/smd_net.dir/multinode.cpp.o.d"
+  "CMakeFiles/smd_net.dir/topology.cpp.o"
+  "CMakeFiles/smd_net.dir/topology.cpp.o.d"
+  "libsmd_net.a"
+  "libsmd_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smd_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/controller.cpp" "src/sim/CMakeFiles/smd_sim.dir/controller.cpp.o" "gcc" "src/sim/CMakeFiles/smd_sim.dir/controller.cpp.o.d"
+  "/root/repo/src/sim/kernelexec.cpp" "src/sim/CMakeFiles/smd_sim.dir/kernelexec.cpp.o" "gcc" "src/sim/CMakeFiles/smd_sim.dir/kernelexec.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/smd_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/smd_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/smd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/smd_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/smd_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

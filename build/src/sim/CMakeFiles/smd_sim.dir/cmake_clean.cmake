@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smd_sim.dir/controller.cpp.o"
+  "CMakeFiles/smd_sim.dir/controller.cpp.o.d"
+  "CMakeFiles/smd_sim.dir/kernelexec.cpp.o"
+  "CMakeFiles/smd_sim.dir/kernelexec.cpp.o.d"
+  "CMakeFiles/smd_sim.dir/trace.cpp.o"
+  "CMakeFiles/smd_sim.dir/trace.cpp.o.d"
+  "libsmd_sim.a"
+  "libsmd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smd_util.dir/rng.cpp.o"
+  "CMakeFiles/smd_util.dir/rng.cpp.o.d"
+  "CMakeFiles/smd_util.dir/stats.cpp.o"
+  "CMakeFiles/smd_util.dir/stats.cpp.o.d"
+  "CMakeFiles/smd_util.dir/table.cpp.o"
+  "CMakeFiles/smd_util.dir/table.cpp.o.d"
+  "libsmd_util.a"
+  "libsmd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocked_test.dir/blocked_test.cpp.o"
+  "CMakeFiles/blocked_test.dir/blocked_test.cpp.o.d"
+  "blocked_test"
+  "blocked_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocked_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_property_test.dir/md_property_test.cpp.o"
+  "CMakeFiles/md_property_test.dir/md_property_test.cpp.o.d"
+  "md_property_test"
+  "md_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

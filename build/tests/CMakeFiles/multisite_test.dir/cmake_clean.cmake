@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multisite_test.dir/multisite_test.cpp.o"
+  "CMakeFiles/multisite_test.dir/multisite_test.cpp.o.d"
+  "multisite_test"
+  "multisite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multisite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
