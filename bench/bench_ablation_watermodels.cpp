@@ -8,13 +8,16 @@
 // (arithmetic intensity x sustained memory bandwidth).
 #include <cstdio>
 
+#include "bench/bench_io.h"
 #include "src/core/kernels.h"
 #include "src/md/water.h"
 #include "src/util/table.h"
 
 using namespace smd;
 
-int main() {
+int main(int argc, char** argv) {
+  benchio::JsonOut jout(argc, argv, "bench_ablation_watermodels");
+  obs::Json rows = obs::Json::array();
   util::Table t({"model", "sites", "site pairs", "flops/pair", "div+sqrt",
                  "words/pair", "AI", "cycles/pair", "proj. GFLOPS", "bound"});
   for (const auto* m : md::table5_models()) {
@@ -23,6 +26,18 @@ int main() {
     const double compute_gflops =
         static_cast<double>(p.census.flops) * 16 / p.cycles_per_interaction;
     const bool mem_bound = p.projected_gflops < compute_gflops - 1e-9;
+    obs::Json j = obs::Json::object();
+    j.set("model", m->name)
+        .set("sites", p.sites)
+        .set("active_pairs", p.active_pairs)
+        .set("flops_per_pair", p.census.flops)
+        .set("divides_and_sqrts", p.census.divides + p.census.square_roots)
+        .set("words_per_interaction", p.words_per_interaction)
+        .set("arithmetic_intensity", p.arithmetic_intensity)
+        .set("cycles_per_interaction", p.cycles_per_interaction)
+        .set("projected_gflops", p.projected_gflops)
+        .set("bound", mem_bound ? "memory" : "compute");
+    rows.push_back(std::move(j));
     t.add_row({m->name, std::to_string(p.sites), std::to_string(p.active_pairs),
                std::to_string(p.census.flops),
                std::to_string(p.census.divides + p.census.square_roots),
@@ -42,5 +57,6 @@ int main() {
       "arithmetic at no additional bandwidth, exactly the trade the paper\n"
       "says favors Merrimac. (Expanded-style streams; bandwidth bound\n"
       "assumes 4 sustained words/cycle.)\n");
+  jout.root().set("models", std::move(rows));
   return 0;
 }

@@ -13,13 +13,16 @@
 // half-edge shell, so on a kernel-bound calibration blocking loses.
 #include <cstdio>
 
+#include "bench/bench_io.h"
 #include "src/core/blocking.h"
+#include "src/core/report.h"
 #include "src/core/run.h"
 #include "src/util/table.h"
 
 using namespace smd;
 
-int main() {
+int main(int argc, char** argv) {
+  benchio::JsonOut jout(argc, argv, "bench_blocked_scheme");
   const core::Problem problem = core::Problem::make({});
   const auto variable = core::run_variant(problem, core::Variant::kVariable);
   const double var_kernel = static_cast<double>(variable.run.kernel_busy_cycles);
@@ -48,6 +51,7 @@ int main() {
   util::Table t({"cells/dim", "x", "cells pave", "pad occ", "compute infl",
                  "words/pair", "model kernel", "impl kernel", "model mem",
                  "impl mem", "impl time rel"});
+  obs::Json rows = obs::Json::array();
   for (int cells : {3, 4, 5, 6}) {
     const core::BlockedImplProfile p = core::profile_blocked_implementation(
         problem.system, problem.half_list, problem.setup.cutoff, cells);
@@ -68,6 +72,19 @@ int main() {
                util::Table::num(m.memory_rel, 2),
                util::Table::num(impl_mem_cycles_rel, 2),
                util::Table::num(impl_time_rel, 2)});
+    obs::Json j = obs::Json::object();
+    j.set("cells_per_dim", cells)
+        .set("normalized_size", p.normalized_size)
+        .set("paving_cells", p.paving_cells)
+        .set("max_occupancy", p.max_occupancy)
+        .set("compute_inflation", p.compute_inflation)
+        .set("words_per_real_pair", p.words_per_real_pair)
+        .set("model_kernel_rel", m.kernel_rel)
+        .set("impl_kernel_rel", impl_kernel_rel)
+        .set("model_memory_rel", m.memory_rel)
+        .set("impl_memory_rel", impl_mem_cycles_rel)
+        .set("impl_time_rel", impl_time_rel);
+    rows.push_back(std::move(j));
   }
   std::printf("%s\n", t.render().c_str());
   std::printf(
@@ -84,5 +101,7 @@ int main() {
       "   shallower than Figure 12 suggests. Production GPU MD resolved\n"
       "   this with pruned tile-pair lists -- blocking plus a coarse list,\n"
       "   rather than pure spatial paving.\n");
+  jout.root().set("calibration", core::to_json(variable));
+  jout.root().set("cells", std::move(rows));
   return 0;
 }

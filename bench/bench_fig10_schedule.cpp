@@ -4,12 +4,28 @@
 // the issue-rate statistics quoted in Section 5.1.
 #include <cstdio>
 
+#include "bench/bench_io.h"
 #include "src/core/kernels.h"
 #include "src/kernel/schedule.h"
 
 using namespace smd;
 
-int main() {
+namespace {
+
+obs::Json schedule_json(const kernel::Schedule& s) {
+  obs::Json j = obs::Json::object();
+  j.set("ii", s.ii)
+      .set("unroll", s.unroll)
+      .set("cycles_per_iteration", s.cycles_per_iteration())
+      .set("fpu_occupancy", s.fpu_occupancy)
+      .set("issue_rate", s.issue_rate);
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchio::JsonOut jout(argc, argv, "bench_fig10_schedule");
   const kernel::KernelDef def =
       core::build_water_kernel(core::Variant::kVariable, md::spc());
 
@@ -42,5 +58,9 @@ int main() {
   std::printf("execution-rate improvement: %.0f%% (paper reports a double-digit\n"
               "percentage improvement from the same transformation)\n",
               100.0 * (before.cycles_per_iteration() / after.cycles_per_iteration() - 1.0));
+  jout.root().set("before", schedule_json(before));
+  jout.root().set("after", schedule_json(after));
+  jout.root().set("rate_improvement",
+                  before.cycles_per_iteration() / after.cycles_per_iteration() - 1.0);
   return 0;
 }

@@ -15,6 +15,7 @@
 //       recovers the paper's interior minimum at a small cluster size.
 #include <cstdio>
 
+#include "bench/bench_io.h"
 #include "src/core/blocking.h"
 #include "src/core/report.h"
 #include "src/core/run.h"
@@ -22,6 +23,17 @@
 using namespace smd;
 
 namespace {
+
+obs::Json regime_json(const core::BlockingModel& model) {
+  obs::Json pts = obs::Json::array();
+  for (const auto& p : model.sweep(0.6, 4.2, 13)) pts.push_back(core::to_json(p));
+  obs::Json j = obs::Json::object();
+  j.set("kernel_cycles", model.params().variable_kernel_cycles)
+      .set("memory_cycles", model.params().variable_memory_cycles)
+      .set("sweep", std::move(pts))
+      .set("minimum", core::to_json(model.minimum()));
+  return j;
+}
 
 void show(const char* title, const core::BlockingModel& model) {
   std::printf("%s\n", title);
@@ -44,7 +56,8 @@ void show(const char* title, const core::BlockingModel& model) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchio::JsonOut jout(argc, argv, "bench_fig11_12_blocking");
   const core::Problem problem = core::Problem::make({});
   const auto variable = core::run_variant(problem, core::Variant::kVariable);
 
@@ -84,5 +97,9 @@ int main() {
       "per cluster). Our simulated calibration is kernel-bound, so blocking\n"
       "only pays once gathers actually miss the stream cache -- regimes (b)\n"
       "and (c); (c) reproduces the paper's interior minimum.\n");
+  jout.root().set("calibration", core::to_json(variable));
+  jout.root().set("as_simulated", regime_json(core::BlockingModel(params)));
+  jout.root().set("no_cache", regime_json(core::BlockingModel(no_cache)));
+  jout.root().set("paper_regime", regime_json(core::BlockingModel(paper_regime)));
   return 0;
 }

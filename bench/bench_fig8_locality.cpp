@@ -4,12 +4,14 @@
 // variable / duplicated.
 #include <cstdio>
 
+#include "bench/bench_io.h"
 #include "src/core/report.h"
 #include "src/core/run.h"
 
 using namespace smd;
 
-int main() {
+int main(int argc, char** argv) {
+  benchio::JsonOut jout(argc, argv, "bench_fig8_locality");
   const core::Problem problem = core::Problem::make({});
   const auto results = core::run_all_variants(problem);
   std::printf("== Figure 8: locality of the implementations ==\n%s\n",
@@ -25,5 +27,7 @@ int main() {
                     .c_str());
   }
   std::printf("(L = LRF, s = SRF, . = memory)\n");
+  jout.set_record(core::bench_record("bench_fig8_locality",
+                                     sim::MachineConfig::merrimac(), results));
   return 0;
 }

@@ -4,6 +4,7 @@
 // Section 5.1 "optimal" bound and sustained fractions.
 #include <cstdio>
 
+#include "bench/bench_io.h"
 #include "src/baseline/p4model.h"
 #include "src/core/kernels.h"
 #include "src/core/report.h"
@@ -30,7 +31,8 @@ double optimal_solution_gflops(const core::Problem& problem,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchio::JsonOut jout(argc, argv, "bench_fig9_performance");
   const core::Problem problem = core::Problem::make({});
   const sim::MachineConfig cfg = sim::MachineConfig::merrimac();
   const auto results = core::run_all_variants(problem, cfg);
@@ -72,5 +74,12 @@ int main() {
               100.0 * variable->all_gflops / cfg.peak_gflops(), cfg.peak_gflops());
   std::printf("  max force error vs reference: %.2e (all variants validated)\n",
               variable->max_force_rel_err);
+
+  jout.set_record(core::bench_record("bench_fig9_performance", cfg, results));
+  obs::Json baselines = obs::Json::object();
+  baselines.set("p4_solution_gflops", p4_gflops)
+      .set("optimal_solution_gflops", optimal)
+      .set("peak_gflops", cfg.peak_gflops());
+  jout.root().set("baselines", std::move(baselines));
   return 0;
 }

@@ -1,0 +1,62 @@
+// Shared `--json <path>` / `--trace <path>` handling for the bench
+// binaries. Every bench constructs a JsonOut, fills its record with the
+// numbers it prints, and the record is written on scope exit -- so a run
+// with `--json out.json` leaves a diffable BENCH_*.json artifact next to
+// the human-readable table output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "src/obs/json.h"
+
+namespace smd::benchio {
+
+/// Value of `--<name> <value>` in argv, or "" when absent.
+inline std::string flag_value(int argc, char** argv, const std::string& name) {
+  const std::string flag = "--" + name;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == flag) return argv[i + 1];
+  }
+  return "";
+}
+
+class JsonOut {
+ public:
+  JsonOut(int argc, char** argv, std::string bench_name)
+      : path_(flag_value(argc, argv, "json")), root_(obs::Json::object()) {
+    root_.set("schema_version", 1);
+    root_.set("bench", std::move(bench_name));
+  }
+  JsonOut(const JsonOut&) = delete;
+  JsonOut& operator=(const JsonOut&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+  obs::Json& root() { return root_; }
+
+  /// Replace the whole record (used with core::bench_record()); the
+  /// original schema_version/bench fields are kept if absent.
+  void set_record(obs::Json record) {
+    for (const auto& [key, value] : root_.items()) {
+      if (!record.contains(key)) record.set(key, value);
+    }
+    root_ = std::move(record);
+  }
+
+  ~JsonOut() {
+    if (path_.empty()) return;
+    try {
+      obs::write_file(root_, path_);
+      std::printf("json record written to %s\n", path_.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to write %s: %s\n", path_.c_str(), e.what());
+    }
+  }
+
+ private:
+  std::string path_;
+  obs::Json root_;
+};
+
+}  // namespace smd::benchio

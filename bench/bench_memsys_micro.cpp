@@ -4,6 +4,7 @@
 // that of random access bandwidth").
 #include <cstdio>
 
+#include "bench/bench_io.h"
 #include "src/mem/memsys.h"
 #include "src/util/rng.h"
 #include "src/util/table.h"
@@ -17,6 +18,15 @@ struct Result {
   double gbytes;
   double cache_hit_rate;
 };
+
+obs::Json result_json(const char* name, const Result& r) {
+  obs::Json j = obs::Json::object();
+  j.set("pattern", name)
+      .set("words_per_cycle", r.words_per_cycle)
+      .set("gbytes_per_s", r.gbytes)
+      .set("cache_hit_rate", r.cache_hit_rate);
+  return j;
+}
 
 Result run_pattern(const char* /*name*/, mem::MemOpDesc desc, std::int64_t footprint) {
   mem::GlobalMemory gmem;
@@ -36,7 +46,9 @@ Result run_pattern(const char* /*name*/, mem::MemOpDesc desc, std::int64_t footp
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchio::JsonOut jout(argc, argv, "bench_memsys_micro");
+  obs::Json patterns = obs::Json::array();
   const std::int64_t n = 32768;
   util::Table t({"pattern", "words/cycle", "GB/s @1GHz", "cache hit rate"});
 
@@ -46,6 +58,7 @@ int main() {
     d.n_records = n;
     d.record_words = 8;
     const Result r = run_pattern("sequential", d, n * 8);
+    patterns.push_back(result_json("sequential 8-word records", r));
     t.add_row({"sequential 8-word records", util::Table::num(r.words_per_cycle, 2),
                util::Table::num(r.gbytes, 1), util::Table::percent(r.cache_hit_rate, 1)});
   }
@@ -56,6 +69,7 @@ int main() {
     d.record_words = 1;
     d.stride_words = 64;  // one word per cache line, 8 lines apart
     const Result r = run_pattern("strided", d, n * 64 + 64);
+    patterns.push_back(result_json("strided (1 of every 64 words)", r));
     t.add_row({"strided (1 of every 64 words)", util::Table::num(r.words_per_cycle, 2),
                util::Table::num(r.gbytes, 1), util::Table::percent(r.cache_hit_rate, 1)});
   }
@@ -68,6 +82,7 @@ int main() {
     const std::int64_t records = 1 << 18;  // 2.3 MWords > cache
     for (std::int64_t i = 0; i < n; ++i) d.indices.push_back(rng.uniform_u64(records));
     const Result r = run_pattern("gather-large", d, records * 9);
+    patterns.push_back(result_json("random gather, 18 MB footprint", r));
     t.add_row({"random gather, 18 MB footprint", util::Table::num(r.words_per_cycle, 2),
                util::Table::num(r.gbytes, 1), util::Table::percent(r.cache_hit_rate, 1)});
   }
@@ -80,6 +95,7 @@ int main() {
     const std::int64_t records = 900;  // the paper's position array
     for (std::int64_t i = 0; i < n; ++i) d.indices.push_back(rng.uniform_u64(records));
     const Result r = run_pattern("gather-small", d, records * 9);
+    patterns.push_back(result_json("random gather, 65 KB footprint", r));
     t.add_row({"random gather, 65 KB footprint", util::Table::num(r.words_per_cycle, 2),
                util::Table::num(r.gbytes, 1), util::Table::percent(r.cache_hit_rate, 1)});
   }
@@ -92,5 +108,6 @@ int main() {
       "row misses; cache-resident gathers run at address-generation speed.\n"
       "Aggregate bandwidth across concurrent ops can reach the 38.4 GB/s\n"
       "DRAM peak (both generators, all banks).\n");
+  jout.root().set("patterns", std::move(patterns));
   return 0;
 }

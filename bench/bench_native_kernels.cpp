@@ -5,6 +5,9 @@
 // honest and to show the baseline kernel's real arithmetic throughput.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "src/baseline/gromacs_like.h"
 #include "src/core/kernels.h"
 #include "src/md/force_ref.h"
@@ -80,4 +83,26 @@ BENCHMARK(BM_ApproxRsqrt);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but honors the repo-wide `--json <path>` flag by
+// translating it into google-benchmark's own JSON reporter arguments, so
+// every bench binary shares one machine-readable output convention.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      args.push_back("--benchmark_out=" + std::string(argv[i + 1]));
+      args.push_back("--benchmark_out_format=json");
+      ++i;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  std::vector<char*> cargs;
+  for (auto& a : args) cargs.push_back(a.data());
+  int cargc = static_cast<int>(cargs.size());
+  benchmark::Initialize(&cargc, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

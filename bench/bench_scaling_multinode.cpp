@@ -4,6 +4,7 @@
 // simulated single-node `variable` run.
 #include <cstdio>
 
+#include "bench/bench_io.h"
 #include "src/core/run.h"
 #include "src/net/multinode.h"
 #include "src/util/table.h"
@@ -11,6 +12,23 @@
 using namespace smd;
 
 namespace {
+
+obs::Json sweep_json(const net::ScalingModel& model) {
+  obs::Json rows = obs::Json::array();
+  for (const auto& p : model.sweep({1, 2, 4, 8, 16, 32, 64})) {
+    obs::Json j = obs::Json::object();
+    j.set("nodes", p.nodes)
+        .set("compute_s", p.compute_s)
+        .set("local_mem_s", p.local_mem_s)
+        .set("network_s", p.network_s)
+        .set("step_s", p.step_s)
+        .set("speedup", p.speedup)
+        .set("efficiency", p.efficiency)
+        .set("halo_fraction", p.halo_fraction);
+    rows.push_back(std::move(j));
+  }
+  return rows;
+}
 
 void sweep(const char* title, const net::ScalingModel& model) {
   util::Table t({"nodes", "compute (us)", "local mem (us)", "network (us)",
@@ -29,7 +47,8 @@ void sweep(const char* title, const net::ScalingModel& model) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchio::JsonOut jout(argc, argv, "bench_scaling_multinode");
   const core::Problem problem = core::Problem::make({});
   const auto variable = core::run_variant(problem, core::Variant::kVariable);
 
@@ -49,5 +68,17 @@ int main() {
   big.n_molecules = 115200;  // 128x larger box
   sweep("128x larger system: 115,200 molecules",
         net::ScalingModel(big, net::NetworkConfig{}));
+
+  obs::Json workload = obs::Json::object();
+  workload.set("n_molecules", w.n_molecules)
+      .set("cutoff_nm", w.cutoff)
+      .set("flops_per_interaction", w.flops_per_interaction)
+      .set("words_per_interaction", w.words_per_interaction)
+      .set("cycles_per_interaction", w.cycles_per_interaction);
+  jout.root().set("workload", std::move(workload));
+  jout.root().set("paper_dataset",
+                  sweep_json(net::ScalingModel(w, net::NetworkConfig{})));
+  jout.root().set("large_system",
+                  sweep_json(net::ScalingModel(big, net::NetworkConfig{})));
   return 0;
 }

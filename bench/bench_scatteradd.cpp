@@ -4,6 +4,7 @@
 // the access pattern StreamMD's partial-force reduction produces.
 #include <cstdio>
 
+#include "bench/bench_io.h"
 #include "src/mem/memsys.h"
 #include "src/util/rng.h"
 #include "src/util/table.h"
@@ -42,7 +43,9 @@ Result run_scatter(const std::vector<std::uint64_t>& idx, std::int64_t rows) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchio::JsonOut jout(argc, argv, "bench_scatteradd");
+  obs::Json patterns = obs::Json::array();
   const std::int64_t n = 16384;
   const std::int64_t rows = 901;  // the paper's force array (+ trash row)
   util::Rng rng(11);
@@ -50,6 +53,12 @@ int main() {
   util::Table t({"index pattern", "words/cycle", "GB/s @1GHz", "combined"});
   auto add = [&](const char* name, const std::vector<std::uint64_t>& idx) {
     const Result r = run_scatter(idx, rows);
+    obs::Json j = obs::Json::object();
+    j.set("pattern", name)
+        .set("words_per_cycle", r.words_per_cycle)
+        .set("gbytes_per_s", r.words_per_cycle * 8)
+        .set("combine_rate", r.combine_rate);
+    patterns.push_back(std::move(j));
     t.add_row({name, util::Table::num(r.words_per_cycle, 2),
                util::Table::num(r.words_per_cycle * 8, 1),
                util::Table::percent(r.combine_rate, 1)});
@@ -70,5 +79,6 @@ int main() {
   std::printf("== Scatter-add unit characterization ==\n%s\n", t.render().c_str());
   std::printf("bursty same-row updates combine in the 8-entry combining store;\n"
               "StreamMD's partial-force reduction relies on exactly this.\n");
+  jout.root().set("patterns", std::move(patterns));
   return 0;
 }

@@ -4,6 +4,7 @@
 // motivates the variable-length machinery.
 #include <cstdio>
 
+#include "bench/bench_io.h"
 #include "src/core/layouts.h"
 #include "src/core/report.h"
 #include "src/core/run.h"
@@ -11,7 +12,8 @@
 
 using namespace smd;
 
-int main() {
+int main(int argc, char** argv) {
+  benchio::JsonOut jout(argc, argv, "bench_table2_dataset");
   const core::Problem problem = core::Problem::make({});
 
   // Only the fixed layout is needed for the table; build it directly
@@ -34,5 +36,21 @@ int main() {
   }
   std::printf("half-list neighbor-count distribution (bucket lower bound):\n%s\n",
               degrees.ascii(32).c_str());
+
+  obs::Json dataset = obs::Json::object();
+  dataset.set("n_molecules", problem.system.n_molecules())
+      .set("cutoff_nm", problem.setup.cutoff)
+      .set("interactions", problem.half_list.n_pairs())
+      .set("mean_neighbors", problem.half_list.mean_degree())
+      .set("fixed_central_blocks", fixed_layout.n_central_blocks)
+      .set("fixed_neighbor_slots", fixed_layout.n_neighbor_slots);
+  obs::Json hist = obs::Json::array();
+  for (std::size_t i = 0; i < degrees.bucket_count(); ++i) {
+    obs::Json bucket = obs::Json::object();
+    bucket.set("lo", degrees.bucket_lo(i)).set("count", degrees.bucket(i));
+    hist.push_back(std::move(bucket));
+  }
+  jout.root().set("dataset", std::move(dataset));
+  jout.root().set("neighbor_histogram", std::move(hist));
   return 0;
 }

@@ -1,10 +1,23 @@
 // Reproduces paper Table 3: the StreamMD implementation variants.
 #include <cstdio>
 
+#include "bench/bench_io.h"
+#include "src/core/streammd.h"
 #include "src/core/report.h"
 
-int main() {
+int main(int argc, char** argv) {
+  smd::benchio::JsonOut jout(argc, argv, "bench_table3_variants");
   std::printf("== Table 3: variants of StreamMD ==\n%s\n",
               smd::core::format_variants_table().c_str());
+  smd::obs::Json variants = smd::obs::Json::array();
+  for (smd::core::Variant v :
+       {smd::core::Variant::kExpanded, smd::core::Variant::kFixed,
+        smd::core::Variant::kVariable, smd::core::Variant::kDuplicated}) {
+    smd::obs::Json row = smd::obs::Json::object();
+    row.set("name", smd::core::variant_name(v));
+    row.set("description", smd::core::variant_description(v));
+    variants.push_back(std::move(row));
+  }
+  jout.root().set("variants", std::move(variants));
   return 0;
 }

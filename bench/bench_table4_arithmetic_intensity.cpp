@@ -3,12 +3,14 @@
 // counts and measured from the simulated run.
 #include <cstdio>
 
+#include "bench/bench_io.h"
 #include "src/core/report.h"
 #include "src/core/run.h"
 
 using namespace smd;
 
-int main() {
+int main(int argc, char** argv) {
+  benchio::JsonOut jout(argc, argv, "bench_table4_arithmetic_intensity");
   const core::Problem problem = core::Problem::make({});
   const auto results = core::run_all_variants(problem);
   std::printf("== Table 4: arithmetic intensity ==\n%s\n",
@@ -17,5 +19,8 @@ int main() {
       "(flops per interaction in the paper's convention: %.0f, of which\n"
       " 9 divides and 9 square roots; the paper quotes ~234)\n",
       problem.flops_per_interaction);
+  jout.set_record(core::bench_record("bench_table4_arithmetic_intensity",
+                                     sim::MachineConfig::merrimac(), results));
+  jout.root().set("flops_per_interaction", problem.flops_per_interaction);
   return 0;
 }

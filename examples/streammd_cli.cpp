@@ -10,6 +10,10 @@
 //     --sdr-conservative use the flawed (Figure 7a) SDR allocation
 //     --unroll U         kernel unroll factor         (default 2)
 //     --timeline         print the execution timeline snippet
+//     --json PATH        write a machine-readable run record (config,
+//                        counters, GFLOPS, overlap/locality fractions)
+//     --trace PATH       write a Chrome trace-event file of the stream
+//                        ops (open in chrome://tracing or Perfetto)
 //
 // Prints the Figure 8/9-style metrics for the requested run(s) and exits
 // non-zero if any variant fails force validation.
@@ -21,6 +25,7 @@
 
 #include "src/core/report.h"
 #include "src/core/run.h"
+#include "src/obs/trace_event.h"
 
 using namespace smd;
 
@@ -30,7 +35,8 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--variant NAME] [--molecules N] [--cutoff RC]\n"
                "          [--seed S] [--list-length L] [--clusters C]\n"
-               "          [--sdr-conservative] [--unroll U] [--timeline]\n",
+               "          [--sdr-conservative] [--unroll U] [--timeline]\n"
+               "          [--json PATH] [--trace PATH]\n",
                argv0);
 }
 
@@ -39,6 +45,8 @@ void usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string variant = "all";
   bool timeline = false;
+  std::string json_path;
+  std::string trace_path;
   core::ExperimentSetup setup;
   sim::MachineConfig cfg = sim::MachineConfig::merrimac();
 
@@ -69,6 +77,10 @@ int main(int argc, char** argv) {
       cfg.sched.unroll = std::atoi(next());
     } else if (arg == "--timeline") {
       timeline = true;
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--trace") {
+      trace_path = next();
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -137,5 +149,42 @@ int main(int argc, char** argv) {
   std::printf("%s", core::format_arithmetic_intensity_table(results).c_str());
   std::printf("\nforces validated against the reference: %s\n",
               ok ? "yes" : "NO");
+
+  if (!json_path.empty()) {
+    obs::Json record = core::bench_record("streammd_cli", cfg, results);
+    obs::Json dataset = obs::Json::object();
+    dataset.set("n_molecules", problem.system.n_molecules())
+        .set("cutoff_nm", setup.cutoff)
+        .set("seed", setup.seed)
+        .set("fixed_list_length", setup.fixed_list_length)
+        .set("interactions", problem.half_list.n_pairs());
+    record.set("dataset", std::move(dataset));
+    record.set("validated", ok);
+    try {
+      obs::write_file(record, json_path);
+      std::printf("json record written to %s\n", json_path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (!trace_path.empty()) {
+    // One Chrome trace process per variant, one track per lane/SDR slot,
+    // all populated by the controller's per-stream-op hooks.
+    obs::TraceSink sink;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const int pid = static_cast<int>(i);
+      sink.set_process_name(pid, "streammd " + results[i].name);
+      results[i].run.timeline.append_chrome_events(sink, pid, cfg.clock_ghz);
+    }
+    try {
+      sink.write(trace_path);
+      std::printf("chrome trace written to %s (%zu events)\n",
+                  trace_path.c_str(), sink.size());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
   return ok ? 0 : 1;
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the test suite under the
+# default config and again under AddressSanitizer + UBSanitizer. Run from
+# the repository root:
+#
+#   scripts/check.sh            # both configurations
+#   scripts/check.sh default    # just the default build
+#   scripts/check.sh asan-ubsan # just the sanitizer build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(default asan-ubsan)
+fi
+
+for preset in "${presets[@]}"; do
+  echo "==== preset: ${preset} ===="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "$(nproc)"
+  ctest --preset "${preset}" -j "$(nproc)"
+done
+echo "==== all checks passed ===="

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "src/obs/registry.h"
 #include "src/util/table.h"
 
 namespace smd::core {
@@ -135,6 +136,190 @@ std::string format_blocking_table(const std::vector<BlockingPoint>& pts,
      << " of variable at cluster size " << Table::num(minimum.size, 2) << " ("
      << Table::num(minimum.molecules, 1) << " molecules per cluster)\n";
   return os.str();
+}
+
+obs::Json to_json(const sim::MachineConfig& cfg) {
+  obs::Json mem = obs::Json::object();
+  mem.set("cache_banks", cfg.mem.cache.n_banks)
+      .set("cache_line_words", cfg.mem.cache.line_words)
+      .set("cache_total_words", cfg.mem.cache.total_words)
+      .set("cache_associativity", cfg.mem.cache.associativity)
+      .set("dram_channels", cfg.mem.dram.n_channels)
+      .set("dram_channel_words_per_cycle", cfg.mem.dram.channel_words_per_cycle)
+      .set("dram_access_latency", cfg.mem.dram.access_latency)
+      .set("scatter_add_units_per_bank", cfg.mem.scatter_add.units_per_bank)
+      .set("scatter_add_latency", cfg.mem.scatter_add.latency)
+      .set("combining_entries", cfg.mem.scatter_add.combining_entries)
+      .set("address_generators", cfg.mem.n_address_generators)
+      .set("addrs_per_generator", cfg.mem.addrs_per_generator);
+  obs::Json sched = obs::Json::object();
+  sched.set("n_fpus", cfg.sched.n_fpus)
+      .set("srf_words_per_cycle", cfg.sched.srf_words_per_cycle)
+      .set("unroll", cfg.sched.unroll)
+      .set("software_pipeline", cfg.sched.software_pipeline);
+  obs::Json j = obs::Json::object();
+  j.set("n_clusters", cfg.n_clusters)
+      .set("fpus_per_cluster", cfg.fpus_per_cluster)
+      .set("clock_ghz", cfg.clock_ghz)
+      .set("peak_gflops", cfg.peak_gflops())
+      .set("lrf_words_per_cluster", cfg.lrf_words_per_cluster)
+      .set("srf_words", cfg.srf_words)
+      .set("srf_words_per_cycle_per_cluster", cfg.srf_words_per_cycle_per_cluster)
+      .set("n_stream_descriptor_registers", cfg.n_stream_descriptor_registers)
+      .set("sdr_policy", cfg.sdr_policy == sim::SdrPolicy::kConservative
+                             ? "conservative"
+                             : "transfer-scoped")
+      .set("kernel_startup_cycles", cfg.kernel_startup_cycles)
+      .set("stream_issue_cycles", cfg.stream_issue_cycles)
+      .set("mem", std::move(mem))
+      .set("sched", std::move(sched));
+  return j;
+}
+
+obs::Json to_json(const kernel::FlopCensus& c) {
+  obs::Json j = obs::Json::object();
+  j.set("flops", c.flops)
+      .set("divides", c.divides)
+      .set("square_roots", c.square_roots)
+      .set("fpu_ops", c.fpu_ops)
+      .set("words_read", c.words_read)
+      .set("words_written", c.words_written);
+  return j;
+}
+
+obs::Json to_json(const kernel::InterpStats& s) {
+  obs::Json j = obs::Json::object();
+  j.set("executed", to_json(s.executed))
+      .set("lrf_refs", s.lrf_refs)
+      .set("srf_read_words", s.srf_read_words)
+      .set("srf_write_words", s.srf_write_words)
+      .set("cond_accesses", s.cond_accesses)
+      .set("cond_taken", s.cond_taken)
+      .set("body_iterations", s.body_iterations);
+  return j;
+}
+
+obs::Json to_json(const mem::MemSystemStats& s) {
+  obs::Json j = obs::Json::object();
+  j.set("ops", s.ops)
+      .set("words_loaded", s.words_loaded)
+      .set("words_stored", s.words_stored)
+      .set("addr_generated", s.addr_generated)
+      .set("busy_cycles", s.busy_cycles);
+  return j;
+}
+
+obs::Json to_json(const mem::CacheStats& s) {
+  obs::Json j = obs::Json::object();
+  j.set("accesses", s.accesses)
+      .set("hits", s.hits)
+      .set("misses", s.misses)
+      .set("secondary_misses", s.secondary_misses)
+      .set("dirty_evictions", s.dirty_evictions)
+      .set("hit_rate", s.hit_rate());
+  return j;
+}
+
+obs::Json to_json(const mem::DramStats& s) {
+  obs::Json j = obs::Json::object();
+  j.set("read_lines", s.read_lines)
+      .set("read_words", s.read_words)
+      .set("write_words", s.write_words)
+      .set("row_misses", s.row_misses)
+      .set("busy_cycles", s.busy_cycles);
+  return j;
+}
+
+obs::Json to_json(const mem::ScatterAddStats& s) {
+  obs::Json j = obs::Json::object();
+  j.set("requests", s.requests)
+      .set("combined", s.combined)
+      .set("issued", s.issued)
+      .set("stalled", s.stalled);
+  return j;
+}
+
+obs::Json to_json(const sim::RunStats& s) {
+  obs::Json timeline = obs::Json::object();
+  timeline.set("n_intervals",
+               static_cast<std::int64_t>(s.timeline.intervals().size()))
+      .set("kernel_busy_cycles", s.timeline.busy_cycles(sim::Lane::kKernel, s.cycles))
+      .set("mem_busy_cycles", s.timeline.busy_cycles(sim::Lane::kMemory, s.cycles))
+      .set("overlap_cycles", s.timeline.overlap_cycles(s.cycles));
+  obs::Json j = obs::Json::object();
+  j.set("cycles", s.cycles)
+      .set("kernel_busy_cycles", s.kernel_busy_cycles)
+      .set("mem_busy_cycles", s.mem_busy_cycles)
+      .set("overlap_cycles", s.overlap_cycles)
+      .set("kernel_occupancy",
+           s.cycles ? static_cast<double>(s.kernel_busy_cycles) /
+                          static_cast<double>(s.cycles)
+                    : 0.0)
+      .set("mem_hidden_fraction",
+           s.mem_busy_cycles ? static_cast<double>(s.overlap_cycles) /
+                                   static_cast<double>(s.mem_busy_cycles)
+                             : 0.0)
+      .set("mem_words", s.mem_words)
+      .set("srf_peak_words", s.srf_peak_words)
+      .set("n_kernel_launches", s.n_kernel_launches)
+      .set("n_memory_ops", s.n_memory_ops)
+      .set("sdr_stall_cycles", s.sdr_stall_cycles)
+      .set("interp", to_json(s.interp))
+      .set("mem", to_json(s.mem_stats))
+      .set("cache", to_json(s.cache_stats))
+      .set("dram", to_json(s.dram_stats))
+      .set("scatter_add", to_json(s.scatter_add_stats))
+      .set("timeline", std::move(timeline));
+  return j;
+}
+
+obs::Json to_json(const VariantResult& r) {
+  obs::Json locality = obs::Json::object();
+  locality.set("lrf", r.lrf_fraction)
+      .set("srf", r.srf_fraction)
+      .set("mem", r.mem_fraction);
+  obs::Json j = obs::Json::object();
+  j.set("variant", r.name)
+      .set("n_real_interactions", r.n_real_interactions)
+      .set("n_computed_interactions", r.n_computed_interactions)
+      .set("n_central_blocks", r.n_central_blocks)
+      .set("n_neighbor_slots", r.n_neighbor_slots)
+      .set("time_ms", r.time_ms)
+      .set("solution_gflops", r.solution_gflops)
+      .set("all_gflops", r.all_gflops)
+      .set("mem_refs", r.mem_refs)
+      .set("ai_calculated", r.ai_calculated)
+      .set("ai_measured", r.ai_measured)
+      .set("locality", std::move(locality))
+      .set("kernel_cycles_per_iteration", r.kernel_cycles_per_iteration)
+      .set("kernel_issue_rate", r.kernel_issue_rate)
+      .set("max_force_rel_err", r.max_force_rel_err)
+      .set("run", to_json(r.run));
+  return j;
+}
+
+obs::Json to_json(const BlockingPoint& p) {
+  obs::Json j = obs::Json::object();
+  j.set("size", p.size)
+      .set("molecules", p.molecules)
+      .set("kernel_rel", p.kernel_rel)
+      .set("memory_rel", p.memory_rel)
+      .set("time_rel", p.time_rel);
+  return j;
+}
+
+obs::Json bench_record(const std::string& bench_name,
+                       const sim::MachineConfig& cfg,
+                       const std::vector<VariantResult>& results) {
+  obs::Json rs = obs::Json::array();
+  for (const auto& r : results) rs.push_back(to_json(r));
+  obs::Json j = obs::Json::object();
+  j.set("schema_version", 1)
+      .set("bench", bench_name)
+      .set("machine", to_json(cfg))
+      .set("results", std::move(rs))
+      .set("telemetry", obs::CounterRegistry::global().to_json());
+  return j;
 }
 
 }  // namespace smd::core

@@ -1,5 +1,7 @@
-// Shared formatting of reproduced tables/figures, used by the bench
-// binaries and examples so all output is uniform and diff-friendly.
+// Shared reporting of reproduced tables/figures, used by the bench
+// binaries and examples so all output is uniform and diff-friendly:
+// ASCII tables for humans, and the unified to_json() family + bench
+// records for machines (the BENCH_*.json trajectory).
 #pragma once
 
 #include <string>
@@ -7,6 +9,7 @@
 
 #include "src/core/blocking.h"
 #include "src/core/run.h"
+#include "src/obs/json.h"
 #include "src/sim/config.h"
 
 namespace smd::core {
@@ -37,5 +40,30 @@ std::string format_performance_table(const std::vector<VariantResult>& results,
 /// Figures 11-12: blocking model curves.
 std::string format_blocking_table(const std::vector<BlockingPoint>& pts,
                                   const BlockingPoint& minimum);
+
+// ---- Machine-readable reporting. ----------------------------------------
+//
+// Every stats struct the simulator produces serializes through one of
+// these, so bench records, the CLI's --json output, and the tests all
+// agree on field names. Integers stay integers; derived fractions are
+// emitted alongside the raw counts they come from.
+
+obs::Json to_json(const sim::MachineConfig& cfg);
+obs::Json to_json(const kernel::FlopCensus& c);
+obs::Json to_json(const kernel::InterpStats& s);
+obs::Json to_json(const mem::MemSystemStats& s);
+obs::Json to_json(const mem::CacheStats& s);
+obs::Json to_json(const mem::DramStats& s);
+obs::Json to_json(const mem::ScatterAddStats& s);
+obs::Json to_json(const sim::RunStats& s);
+obs::Json to_json(const VariantResult& r);
+obs::Json to_json(const BlockingPoint& p);
+
+/// The unified bench record written by `--json <path>`: schema version,
+/// bench name, machine config, per-variant results, and a snapshot of the
+/// global telemetry registry.
+obs::Json bench_record(const std::string& bench_name,
+                       const sim::MachineConfig& cfg,
+                       const std::vector<VariantResult>& results);
 
 }  // namespace smd::core

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/obs/registry.h"
+
 namespace smd::mem {
 
 std::uint64_t GlobalMemory::alloc(std::int64_t n) {
@@ -84,6 +86,15 @@ MemSystem::OpId MemSystem::issue(MemOpDesc desc, std::vector<double>* load_dst,
     ++active_ops_;
   }
   ++stats_.ops;
+  const MemOpKind kind = ops_.back().desc.kind;
+  auto& reg = obs::CounterRegistry::global();
+  reg.add("mem.ops_issued");
+  if (is_load(kind)) {
+    reg.add("mem.words_loaded", total);
+  } else {
+    reg.add("mem.words_stored", total);
+    if (kind == MemOpKind::kScatterAdd) reg.add("mem.scatter_add_words", total);
+  }
   return id;
 }
 

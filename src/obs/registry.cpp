@@ -1,0 +1,21 @@
+#include "src/obs/registry.h"
+
+namespace smd::obs {
+
+Json CounterRegistry::to_json() const {
+  Json counters = Json::object();
+  for (const auto& [name, value] : counters_) counters.set(name, value);
+  Json gauges = Json::object();
+  for (const auto& [name, value] : gauges_) gauges.set(name, value);
+  Json out = Json::object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  return out;
+}
+
+CounterRegistry& CounterRegistry::global() {
+  static CounterRegistry reg;
+  return reg;
+}
+
+}  // namespace smd::obs

@@ -1,0 +1,82 @@
+// Named counter/gauge registry with RAII scoped timers.
+//
+// Any module can bump a counter by name without threading a stats struct
+// through its API; the bench binaries and streammd_cli snapshot the global
+// registry into their JSON records so every run carries the full counter
+// census alongside the headline metrics. The simulator is single-threaded
+// by design, so the registry is deliberately unsynchronized.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/obs/json.h"
+
+namespace smd::obs {
+
+class CounterRegistry {
+ public:
+  /// Monotonic event counts ("sim.kernel_launches").
+  void add(const std::string& name, std::int64_t delta = 1) {
+    counters_[name] += delta;
+  }
+  std::int64_t counter(const std::string& name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  /// Last-value measurements ("sim.srf_peak_words").
+  void set_gauge(const std::string& name, double value) {
+    gauges_[name] = value;
+  }
+  double gauge(const std::string& name) const {
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+  }
+
+  /// Timer accumulation: `<name>.seconds` gauge grows by `s`,
+  /// `<name>.calls` counter by one. Used by ScopedTimer.
+  void add_seconds(const std::string& name, double s) {
+    gauges_[name + ".seconds"] += s;
+    add(name + ".calls");
+  }
+
+  bool empty() const { return counters_.empty() && gauges_.empty(); }
+  void clear() {
+    counters_.clear();
+    gauges_.clear();
+  }
+
+  /// {"counters": {...}, "gauges": {...}} with keys in sorted order.
+  Json to_json() const;
+
+  /// The process-wide registry the simulator's hooks write to.
+  static CounterRegistry& global();
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, double> gauges_;
+};
+
+/// Accumulates wall-clock time spent in a scope into a registry timer.
+class ScopedTimer {
+ public:
+  ScopedTimer(CounterRegistry& reg, std::string name)
+      : reg_(reg), name_(std::move(name)),
+        t0_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    const auto dt = std::chrono::steady_clock::now() - t0_;
+    reg_.add_seconds(name_, std::chrono::duration<double>(dt).count());
+  }
+
+ private:
+  CounterRegistry& reg_;
+  std::string name_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace smd::obs

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/obs/registry.h"
+
 namespace smd::sim {
 namespace {
 
@@ -27,10 +29,23 @@ struct InstrState {
   bool is_kernel = false;
   bool is_load = false;
   bool holds_sdr = false;
+  int sdr_slot = -1;               // which SDR services the op (trace track)
+  std::string label;               // trace label ("kernel foo", "load s3")
   mem::MemSystem::OpId mem_id = -1;
   std::uint64_t start = 0;
   std::uint64_t end = 0;  // kernels: known at start
 };
+
+const char* mem_op_verb(mem::MemOpKind kind) {
+  switch (kind) {
+    case mem::MemOpKind::kLoadStrided: return "load";
+    case mem::MemOpKind::kLoadGather: return "gather";
+    case mem::MemOpKind::kStoreStrided: return "store";
+    case mem::MemOpKind::kStoreScatter: return "scatter";
+    case mem::MemOpKind::kScatterAdd: return "scatter-add";
+  }
+  return "mem";
+}
 
 }  // namespace
 
@@ -38,6 +53,8 @@ Controller::Controller(const MachineConfig& cfg, mem::GlobalMemory* memory)
     : cfg_(cfg), memory_(memory) {}
 
 RunStats Controller::run(const StreamProgram& program) {
+  obs::ScopedTimer run_timer(obs::CounterRegistry::global(),
+                             "sim.controller_run");
   mem::MemSystem memsys(cfg_.mem, memory_);
   SrfAllocator srf(cfg_.srf_words);
   KernelCostCache costs(cfg_.sched);
@@ -90,7 +107,25 @@ RunStats Controller::run(const StreamProgram& program) {
     }
   }
 
+  // SDRs are tracked as individual slots (not just a count) so each memory
+  // op's trace interval lands on a stable per-SDR track in the timeline.
+  std::vector<bool> sdr_in_use(
+      static_cast<std::size_t>(cfg_.n_stream_descriptor_registers), false);
   int free_sdrs = cfg_.n_stream_descriptor_registers;
+  auto acquire_sdr = [&]() -> int {
+    for (std::size_t s = 0; s < sdr_in_use.size(); ++s) {
+      if (!sdr_in_use[s]) {
+        sdr_in_use[s] = true;
+        --free_sdrs;
+        return static_cast<int>(s);
+      }
+    }
+    return -1;
+  };
+  auto release_sdr = [&](int slot) {
+    sdr_in_use[static_cast<std::size_t>(slot)] = false;
+    ++free_sdrs;
+  };
   bool clusters_busy = false;
   int running_kernel = -1;
   int remaining = n;
@@ -173,9 +208,10 @@ RunStats Controller::run(const StreamProgram& program) {
     for (StreamId s : is.produces) maybe_free_stream(s);
     // Conservative SDRs may now be releasable.
     for (auto it = sdr_parked.begin(); it != sdr_parked.end();) {
+      auto& parked = st[static_cast<std::size_t>(*it)];
       if (conservative_release_ready(*it)) {
-        ++free_sdrs;
-        st[static_cast<std::size_t>(*it)].holds_sdr = false;
+        release_sdr(parked.sdr_slot);
+        parked.holds_sdr = false;
         it = sdr_parked.erase(it);
       } else {
         ++it;
@@ -207,6 +243,7 @@ RunStats Controller::run(const StreamProgram& program) {
     const std::uint64_t cycles =
         static_cast<std::uint64_t>(cfg_.kernel_startup_cycles) +
         cost.cycles_for(k.rounds);
+    is.label = "kernel " + k.def->name;
     is.start = now;
     is.end = now + cycles;
     is.phase = Phase::kRunning;
@@ -218,17 +255,21 @@ RunStats Controller::run(const StreamProgram& program) {
   auto start_memop = [&](int i) {
     auto& is = st[static_cast<std::size_t>(i)];
     const auto& instr = program.instrs[static_cast<std::size_t>(i)];
-    --free_sdrs;
+    is.sdr_slot = acquire_sdr();
     is.holds_sdr = true;
     is.start = now;
     is.phase = Phase::kRunning;
     ++stats.n_memory_ops;
     if (const auto* load = std::get_if<LoadOp>(&instr)) {
+      is.label = std::string(mem_op_verb(load->desc.kind)) + " s" +
+                 std::to_string(load->dst);
       is.mem_id = memsys.issue(load->desc,
                                &streams[static_cast<std::size_t>(load->dst)].buffer,
                                nullptr);
     } else {
       const auto& store = std::get<StoreOp>(instr);
+      is.label = std::string(mem_op_verb(store.desc.kind)) + " s" +
+                 std::to_string(store.src);
       is.mem_id = memsys.issue(store.desc, nullptr,
                                &streams[static_cast<std::size_t>(store.src)].buffer);
     }
@@ -263,7 +304,7 @@ RunStats Controller::run(const StreamProgram& program) {
     if (running_kernel >= 0 &&
         st[static_cast<std::size_t>(running_kernel)].end <= now) {
       auto& is = st[static_cast<std::size_t>(running_kernel)];
-      stats.timeline.add(Lane::kKernel, is.start, is.end, "kernel");
+      stats.timeline.add(Lane::kKernel, is.start, is.end, is.label);
       stats.kernel_busy_cycles += is.end - is.start;
       clusters_busy = false;
       const int finished = running_kernel;
@@ -275,14 +316,15 @@ RunStats Controller::run(const StreamProgram& program) {
       if (is.phase != Phase::kRunning || is.is_kernel) continue;
       if (!memsys.op_done(is.mem_id)) continue;
       is.end = now;
-      stats.timeline.add(Lane::kMemory, is.start, is.end, "mem");
+      stats.timeline.add(Lane::kMemory, is.start, is.end, is.label,
+                         is.sdr_slot);
       if (is.holds_sdr) {
         const bool conservative =
             cfg_.sdr_policy == SdrPolicy::kConservative && is.is_load;
         if (conservative && !conservative_release_ready(i)) {
           sdr_parked.push_back(i);
         } else {
-          ++free_sdrs;
+          release_sdr(is.sdr_slot);
           is.holds_sdr = false;
         }
       }
@@ -304,6 +346,21 @@ RunStats Controller::run(const StreamProgram& program) {
   stats.mem_busy_cycles = stats.mem_stats.busy_cycles;
   stats.overlap_cycles = stats.timeline.overlap_cycles(now);
   stats.srf_peak_words = srf.peak();
+
+  auto& reg = obs::CounterRegistry::global();
+  reg.add("sim.runs");
+  reg.add("sim.cycles", static_cast<std::int64_t>(stats.cycles));
+  reg.add("sim.kernel_launches", stats.n_kernel_launches);
+  reg.add("sim.memory_ops", stats.n_memory_ops);
+  reg.add("sim.kernel_busy_cycles",
+          static_cast<std::int64_t>(stats.kernel_busy_cycles));
+  reg.add("sim.mem_busy_cycles",
+          static_cast<std::int64_t>(stats.mem_busy_cycles));
+  reg.add("sim.overlap_cycles",
+          static_cast<std::int64_t>(stats.overlap_cycles));
+  reg.add("sim.sdr_stall_cycles",
+          static_cast<std::int64_t>(stats.sdr_stall_cycles));
+  reg.set_gauge("sim.srf_peak_words", static_cast<double>(srf.peak()));
   return stats;
 }
 

@@ -1,5 +1,7 @@
 #include "src/sim/kernelexec.h"
 
+#include "src/obs/registry.h"
+
 namespace smd::sim {
 
 std::uint64_t KernelCost::cycles_for(std::int64_t rounds) const {
@@ -32,8 +34,14 @@ std::uint64_t KernelCost::cycles_for(std::int64_t rounds) const {
 
 const KernelCost& KernelCostCache::get(const kernel::KernelDef& def) {
   auto it = cache_.find(&def);
-  if (it != cache_.end()) return it->second;
+  if (it != cache_.end()) {
+    obs::CounterRegistry::global().add("sim.kernel_schedule_cache_hits");
+    return it->second;
+  }
 
+  obs::ScopedTimer timer(obs::CounterRegistry::global(),
+                         "sim.kernel_schedule");
+  obs::CounterRegistry::global().add("sim.kernels_scheduled");
   KernelCost cost;
   cost.body = kernel::schedule_body(def, opts_);
   cost.prologue_cycles = kernel::straightline_cycles(def.prologue, opts_);

@@ -1,13 +1,23 @@
 // Execution timeline tracing (Figure 7).
 //
-// Records busy intervals on two lanes -- kernel execution and stream
-// memory -- and renders the paper's two-column occupancy snippet, plus
-// overlap statistics (fraction of memory time hidden under compute).
+// The stream controller records one interval per stream op -- kernel
+// launches on the kernel lane, loads/stores/scatter-add drains on the
+// memory lane (one track per SDR slot) -- and this class answers the
+// occupancy questions behind the paper's Figure 7: busy cycles per lane,
+// kernel/memory overlap, the two-column ASCII snippet, and a Chrome
+// trace-event export viewable in chrome://tracing / Perfetto.
+//
+// Occupancy math is sorted interval-merge, O(n log n) in the number of
+// intervals and independent of the cycle horizon, so tracing full
+// multi-timestep runs (horizons of 10^8+ cycles) stays cheap.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "src/obs/trace_event.h"
 
 namespace smd::sim {
 
@@ -18,25 +28,42 @@ struct Interval {
   std::uint64_t end;  // exclusive
   Lane lane;
   std::string label;
+  int track = 0;  ///< sub-track within the lane (memory: SDR slot)
 };
 
 class Timeline {
  public:
-  void add(Lane lane, std::uint64_t start, std::uint64_t end, std::string label);
+  void add(Lane lane, std::uint64_t start, std::uint64_t end,
+           std::string label, int track = 0);
 
   const std::vector<Interval>& intervals() const { return intervals_; }
+  bool empty() const { return intervals_.empty(); }
 
-  /// Cycles where the lane is busy (union of intervals).
+  /// Cycles where the lane is busy (union of intervals) within [0, horizon).
   std::uint64_t busy_cycles(Lane lane, std::uint64_t horizon) const;
-  /// Cycles where both lanes are busy simultaneously.
+  /// Cycles where both lanes are busy simultaneously within [0, horizon).
   std::uint64_t overlap_cycles(std::uint64_t horizon) const;
+
+  /// Disjoint, sorted busy spans of a lane clipped to [0, horizon).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> merged(
+      Lane lane, std::uint64_t horizon) const;
 
   /// ASCII rendering: one row per `cycles_per_row` cycles, two columns
   /// (kernel | memory), '#' = busy. Mirrors Figure 7's layout.
   std::string ascii(std::uint64_t horizon, std::uint64_t cycles_per_row) const;
 
+  /// Append one Chrome trace slice per interval to `sink` under process
+  /// `pid`: tid 0 = the kernel lane ("clusters"), tid 1 + track = that
+  /// memory SDR slot. Cycles convert to ns at `clock_ghz`.
+  void append_chrome_events(obs::TraceSink& sink, int pid,
+                            double clock_ghz = 1.0) const;
+
+  /// Single-timeline convenience: a complete Chrome trace document.
+  obs::Json chrome_trace_json(double clock_ghz = 1.0) const;
+  void write_chrome_trace(const std::string& path,
+                          double clock_ghz = 1.0) const;
+
  private:
-  std::vector<bool> occupancy(Lane lane, std::uint64_t horizon) const;
   std::vector<Interval> intervals_;
 };
 

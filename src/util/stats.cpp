@@ -26,12 +26,19 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
     : lo_(lo), hi_(hi), counts_(buckets, 0) {}
 
 void Histogram::add(double x) {
+  // NaN compares false with everything, so it would fall through a clamp,
+  // and casting an out-of-range double to an integer is UB -- clamp in the
+  // double domain first and keep NaN out of the buckets entirely.
+  if (std::isnan(x)) {
+    ++nan_;
+    return;
+  }
   const double span = hi_ - lo_;
-  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / span *
-                                         static_cast<double>(counts_.size()));
-  idx = std::clamp<std::ptrdiff_t>(idx, 0,
-                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
+  const double pos = (x - lo_) / span * static_cast<double>(counts_.size());
+  const double last = static_cast<double>(counts_.size() - 1);
+  const auto idx =
+      static_cast<std::size_t>(std::clamp(pos, 0.0, last));
+  ++counts_[idx];
   ++total_;
 }
 

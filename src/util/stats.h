@@ -31,8 +31,10 @@ class Accumulator {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-/// Fixed-bucket histogram over [lo, hi); out-of-range values clamp to the
-/// edge buckets. Used for neighbor-count distributions and latency plots.
+/// Fixed-bucket histogram over [lo, hi); out-of-range values (including
+/// +/-inf) clamp to the edge buckets, NaN inputs are counted separately
+/// and excluded from the buckets. Used for neighbor-count distributions
+/// and latency plots.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets);
@@ -42,6 +44,7 @@ class Histogram {
   std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
   double bucket_lo(std::size_t i) const;
   std::uint64_t total() const { return total_; }
+  std::uint64_t nan_count() const { return nan_; }
 
   /// Render as a compact ASCII bar chart.
   std::string ascii(std::size_t width = 40) const;
@@ -51,6 +54,7 @@ class Histogram {
   double hi_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  std::uint64_t nan_ = 0;
 };
 
 /// Relative error |a-b| / max(|a|,|b|,floor).

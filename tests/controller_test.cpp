@@ -204,5 +204,74 @@ TEST(Controller, ThroughputScalesWithStripCount) {
   EXPECT_GT(static_cast<double>(c4), 1.5 * static_cast<double>(c2));
 }
 
+TEST(Controller, TimelineRecordsEveryStreamOpWithLabels) {
+  // The scoreboard's tracing hooks must emit one interval per stream op:
+  // each kernel launch on the kernel lane, each memory op on the memory
+  // lane, with human-readable labels naming the kernel / op kind.
+  Machine machine(fast_config());
+  auto& mem = machine.memory();
+  const int n = 512;
+  const auto in = mem.alloc(n), out = mem.alloc(n);
+  static const auto k2 = make_scale(2.0, "x2");
+  StreamProgram prog;
+  const StreamId a = prog.new_stream(n);
+  const StreamId b = prog.new_stream(n);
+  prog.load(strided(in, n), a);
+  prog.kernel(&k2, {a, b}, n / 16);
+  prog.store(strided_store(out, n), b);
+  const RunStats stats = machine.run(prog);
+
+  int kernel_ivs = 0, memory_ivs = 0;
+  bool saw_kernel_label = false, saw_load = false, saw_store = false;
+  for (const auto& iv : stats.timeline.intervals()) {
+    EXPECT_LT(iv.start, iv.end);
+    EXPECT_LE(iv.end, stats.cycles);
+    if (iv.lane == Lane::kKernel) {
+      ++kernel_ivs;
+      if (iv.label.find("x2") != std::string::npos) saw_kernel_label = true;
+    } else {
+      ++memory_ivs;
+      EXPECT_GE(iv.track, 0);
+      if (iv.label.find("load") != std::string::npos) saw_load = true;
+      if (iv.label.find("store") != std::string::npos) saw_store = true;
+    }
+  }
+  EXPECT_EQ(kernel_ivs, stats.n_kernel_launches);
+  EXPECT_EQ(memory_ivs, stats.n_memory_ops);
+  EXPECT_TRUE(saw_kernel_label);
+  EXPECT_TRUE(saw_load);
+  EXPECT_TRUE(saw_store);
+}
+
+TEST(Controller, TimelineOccupancyConsistentWithRunStats) {
+  // The same consistency contract bench_fig7_overlap enforces: kernel
+  // intervals are disjoint (one kernel at a time) so their union equals
+  // the kernel busy-cycle counter exactly; the memory-lane union covers at
+  // least the memory system's busy cycles; overlap matches the counter.
+  Machine machine(fast_config());
+  auto& mem = machine.memory();
+  const int n = 4096;
+  const auto in = mem.alloc(4 * n), out = mem.alloc(4 * n);
+  static const auto k2 = make_scale(2.0, "x2");
+  StreamProgram prog;
+  for (int s = 0; s < 4; ++s) {
+    const StreamId a = prog.new_stream(n);
+    const StreamId b = prog.new_stream(n);
+    prog.load(strided(in + static_cast<std::uint64_t>(s * n), n), a);
+    prog.kernel(&k2, {a, b}, n / 16);
+    prog.store(strided_store(out + static_cast<std::uint64_t>(s * n), n), b);
+  }
+  const RunStats stats = machine.run(prog);
+
+  EXPECT_EQ(stats.timeline.busy_cycles(Lane::kKernel, stats.cycles),
+            stats.kernel_busy_cycles);
+  EXPECT_GE(stats.timeline.busy_cycles(Lane::kMemory, stats.cycles),
+            stats.mem_busy_cycles);
+  EXPECT_LE(stats.timeline.busy_cycles(Lane::kMemory, stats.cycles),
+            stats.cycles);
+  EXPECT_EQ(stats.timeline.overlap_cycles(stats.cycles),
+            stats.overlap_cycles);
+}
+
 }  // namespace
 }  // namespace smd::sim

@@ -1,0 +1,215 @@
+// Tests for the telemetry layer: the Json value type (dump/parse
+// round-trips, escaping, error reporting), the counter/gauge registry with
+// its RAII timers, and the Chrome trace-event sink. The bench records and
+// trace files every binary emits are built from exactly these pieces, so
+// their invariants are pinned here.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "src/obs/json.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace_event.h"
+
+namespace smd::obs {
+namespace {
+
+TEST(Json, ScalarDump) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(std::int64_t{-7}).dump(), "-7");
+  EXPECT_EQ(Json(1.5).dump(), "1.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, IntegersStayIntegers) {
+  // 2^53-scale cycle counters must not pick up a ".0" or scientific
+  // notation; doubles keep full precision via %.17g.
+  EXPECT_EQ(Json(std::uint64_t{9007199254740993ULL}).dump(), "9007199254740992");
+  EXPECT_EQ(Json(std::int64_t{123456789012345}).dump(), "123456789012345");
+  const Json d = Json::parse("0.1");
+  EXPECT_DOUBLE_EQ(d.as_double(), 0.1);
+  EXPECT_DOUBLE_EQ(Json::parse(d.dump()).as_double(), 0.1);
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+  EXPECT_EQ(Json(INFINITY).dump(), "null");
+}
+
+TEST(Json, ObjectPreservesInsertionOrderAndSetReplaces) {
+  Json j = Json::object();
+  j.set("z", 1).set("a", 2).set("m", 3);
+  EXPECT_EQ(j.dump(), "{\"z\":1,\"a\":2,\"m\":3}");
+  j.set("a", 9);  // replace in place, order unchanged
+  EXPECT_EQ(j.dump(), "{\"z\":1,\"a\":9,\"m\":3}");
+  EXPECT_EQ(j.size(), 3u);
+  EXPECT_TRUE(j.contains("m"));
+  EXPECT_FALSE(j.contains("q"));
+  EXPECT_EQ(j.at("a").as_int(), 9);
+  EXPECT_THROW(j.at("q"), std::out_of_range);
+}
+
+TEST(Json, ArrayAccess) {
+  Json a = Json::array();
+  a.push_back(1).push_back("two").push_back(Json::object());
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.at(1).as_string(), "two");
+  EXPECT_THROW(a.at(3), std::out_of_range);
+}
+
+TEST(Json, StringEscapes) {
+  const std::string raw = "line\nquote\"back\\slash\ttab\x01";
+  const Json j(raw);
+  const std::string dumped = j.dump();
+  EXPECT_NE(dumped.find("\\n"), std::string::npos);
+  EXPECT_NE(dumped.find("\\\""), std::string::npos);
+  EXPECT_NE(dumped.find("\\\\"), std::string::npos);
+  EXPECT_NE(dumped.find("\\t"), std::string::npos);
+  EXPECT_NE(dumped.find("\\u0001"), std::string::npos);
+  EXPECT_EQ(Json::parse(dumped).as_string(), raw);
+}
+
+TEST(Json, ParseUnicodeEscapes) {
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");       // é
+  EXPECT_EQ(Json::parse("\"\\u2603\"").as_string(), "\xe2\x98\x83");   // snowman
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(Json::parse("\"\\ud83d\\ude00\"").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, RoundTripNestedDocument) {
+  Json doc = Json::object();
+  doc.set("name", "fig7").set("ok", true).set("cycles", std::int64_t{1013265});
+  Json arr = Json::array();
+  for (int i = 0; i < 3; ++i) {
+    Json row = Json::object();
+    row.set("i", i).set("x", 0.25 * i).set("none", nullptr);
+    arr.push_back(std::move(row));
+  }
+  doc.set("rows", std::move(arr));
+
+  for (int indent : {0, 2}) {
+    const Json back = Json::parse(doc.dump(indent));
+    EXPECT_EQ(back.dump(), doc.dump()) << "indent=" << indent;
+    EXPECT_EQ(back.at("rows").at(2).at("x").as_double(), 0.5);
+    EXPECT_TRUE(back.at("rows").at(0).at("none").is_null());
+  }
+}
+
+TEST(Json, ParseErrorsCarryOffset) {
+  for (const char* bad : {"", "{", "[1,]", "{\"a\":}", "tru", "1 2",
+                          "\"\\u12\"", "{\"a\" 1}", "nul", "[1 2]"}) {
+    EXPECT_THROW(Json::parse(bad), std::runtime_error) << bad;
+  }
+  try {
+    Json::parse("[1, x]");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos);
+  }
+}
+
+TEST(Json, FileRoundTrip) {
+  Json j = Json::object();
+  j.set("k", 1);
+  const std::string path = testing::TempDir() + "/obs_test_roundtrip.json";
+  write_file(j, path);
+  const Json back = load_file(path);
+  EXPECT_EQ(back.dump(), j.dump());
+  std::remove(path.c_str());
+  EXPECT_THROW(load_file(path), std::runtime_error);
+}
+
+TEST(Registry, CountersAndGauges) {
+  CounterRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  reg.add("sim.runs");
+  reg.add("sim.runs");
+  reg.add("mem.words", 128);
+  reg.set_gauge("srf.peak", 4096.0);
+  EXPECT_EQ(reg.counter("sim.runs"), 2);
+  EXPECT_EQ(reg.counter("mem.words"), 128);
+  EXPECT_EQ(reg.counter("missing"), 0);
+  EXPECT_DOUBLE_EQ(reg.gauge("srf.peak"), 4096.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("missing"), 0.0);
+
+  const Json j = reg.to_json();
+  EXPECT_EQ(j.at("counters").at("sim.runs").as_int(), 2);
+  EXPECT_DOUBLE_EQ(j.at("gauges").at("srf.peak").as_double(), 4096.0);
+
+  reg.clear();
+  EXPECT_TRUE(reg.empty());
+}
+
+TEST(Registry, ScopedTimerAccumulates) {
+  CounterRegistry reg;
+  for (int i = 0; i < 3; ++i) {
+    ScopedTimer t(reg, "phase");
+  }
+  EXPECT_EQ(reg.counter("phase.calls"), 3);
+  EXPECT_GE(reg.gauge("phase.seconds"), 0.0);
+}
+
+TEST(Registry, GlobalIsAProcessSingleton) {
+  CounterRegistry::global().add("obs_test.probe", 5);
+  EXPECT_GE(CounterRegistry::global().counter("obs_test.probe"), 5);
+}
+
+TEST(TraceSink, ChromeJsonParsesBack) {
+  TraceSink sink;
+  sink.set_process_name(0, "variant variable");
+  sink.set_track_name(0, 0, "clusters (kernel)");
+  sink.set_track_name(0, 1, "memory (SDR 0)");
+  sink.add({"kernel interact", "kernel", 0, 0, 1000, 250});
+  sink.add({"gather s3", "memory", 0, 1, 500, 900});
+  EXPECT_EQ(sink.size(), 2u);
+
+  const Json doc = Json::parse(sink.chrome_json().dump(2));
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ns");
+  const Json& evs = doc.at("traceEvents");
+  int n_meta = 0, n_slices = 0;
+  for (const Json& e : evs.elements()) {
+    const std::string& ph = e.at("ph").as_string();
+    if (ph == "M") {
+      ++n_meta;
+      EXPECT_TRUE(e.at("name").as_string() == "process_name" ||
+                  e.at("name").as_string() == "thread_name");
+      EXPECT_TRUE(e.at("args").contains("name"));
+    } else {
+      ASSERT_EQ(ph, "X");
+      ++n_slices;
+      EXPECT_TRUE(e.contains("ts"));
+      EXPECT_TRUE(e.contains("dur"));
+    }
+  }
+  EXPECT_EQ(n_meta, 3);
+  EXPECT_EQ(n_slices, 2);
+
+  // ts/dur are microseconds: the 1000 ns kernel slice starts at 1 us.
+  for (const Json& e : evs.elements()) {
+    if (e.at("ph").as_string() == "X" && e.at("cat").as_string() == "kernel") {
+      EXPECT_DOUBLE_EQ(e.at("ts").as_double(), 1.0);
+      EXPECT_DOUBLE_EQ(e.at("dur").as_double(), 0.25);
+    }
+  }
+}
+
+TEST(TraceSink, WriteProducesLoadableFile) {
+  TraceSink sink;
+  sink.add({"op", "memory", 0, 1, 0, 10});
+  const std::string path = testing::TempDir() + "/obs_test_trace.json";
+  sink.write(path);
+  const Json doc = load_file(path);
+  EXPECT_EQ(doc.at("traceEvents").size(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace smd::obs

@@ -5,6 +5,7 @@
 
 #include "src/core/report.h"
 #include "src/core/run.h"
+#include "src/obs/registry.h"
 #include "src/sim/trace.h"
 
 namespace smd::core {
@@ -100,6 +101,85 @@ TEST(Trace, ZeroLengthIntervalIgnored) {
   tl.add(sim::Lane::kKernel, 10, 10, "empty");
   EXPECT_EQ(tl.busy_cycles(sim::Lane::kKernel, 100), 0u);
   EXPECT_TRUE(tl.intervals().empty());
+}
+
+TEST(ReportJson, MachineConfigRoundTripsThroughParser) {
+  const obs::Json j =
+      obs::Json::parse(to_json(sim::MachineConfig::merrimac()).dump(2));
+  EXPECT_EQ(j.at("n_clusters").as_int(), 16);
+  EXPECT_DOUBLE_EQ(j.at("peak_gflops").as_double(), 128.0);
+  EXPECT_EQ(j.at("sdr_policy").as_string(), "transfer-scoped");
+  EXPECT_EQ(j.at("mem").at("cache_banks").as_int(), 8);
+  EXPECT_EQ(j.at("mem").at("combining_entries").as_int(), 8);
+  EXPECT_EQ(j.at("sched").at("n_fpus").as_int(), 4);
+}
+
+TEST(ReportJson, RunStatsIncludesDerivedFractionsAndTimelineSummary) {
+  sim::RunStats s;
+  s.cycles = 1000;
+  s.kernel_busy_cycles = 600;
+  s.mem_busy_cycles = 500;
+  s.overlap_cycles = 250;
+  s.n_kernel_launches = 3;
+  s.n_memory_ops = 5;
+  s.timeline.add(sim::Lane::kKernel, 0, 600, "k");
+  s.timeline.add(sim::Lane::kMemory, 350, 850, "m");
+  const obs::Json j = obs::Json::parse(to_json(s).dump());
+  EXPECT_EQ(j.at("cycles").as_int(), 1000);
+  EXPECT_DOUBLE_EQ(j.at("kernel_occupancy").as_double(), 0.6);
+  EXPECT_DOUBLE_EQ(j.at("mem_hidden_fraction").as_double(), 0.5);
+  EXPECT_EQ(j.at("timeline").at("n_intervals").as_int(), 2);
+  EXPECT_EQ(j.at("timeline").at("kernel_busy_cycles").as_int(), 600);
+  EXPECT_EQ(j.at("timeline").at("overlap_cycles").as_int(), 250);
+}
+
+// The acceptance contract for `--json`: a bench record carries the machine
+// config, per-variant results with GFLOPS and locality fractions, and the
+// global telemetry counter snapshot -- and all of it survives a parse of
+// the serialized form. Uses a real (small) simulated run so the numbers
+// are the simulator's own, not hand-rolled.
+TEST(ReportJson, BenchRecordParsesBackWithConfigCountersAndFractions) {
+  obs::CounterRegistry::global().clear();
+  ExperimentSetup setup;
+  setup.n_molecules = 64;
+  const Problem problem = Problem::make(setup);
+  const sim::MachineConfig cfg = sim::MachineConfig::merrimac();
+  const VariantResult r = run_variant(problem, Variant::kVariable, cfg);
+
+  const obs::Json rec =
+      obs::Json::parse(bench_record("report_test", cfg, {r}).dump(2));
+
+  EXPECT_EQ(rec.at("schema_version").as_int(), 1);
+  EXPECT_EQ(rec.at("bench").as_string(), "report_test");
+
+  // Machine config.
+  EXPECT_EQ(rec.at("machine").at("n_clusters").as_int(), 16);
+  EXPECT_DOUBLE_EQ(rec.at("machine").at("peak_gflops").as_double(), 128.0);
+
+  // Per-variant result: GFLOPS and the locality split.
+  const obs::Json& res = rec.at("results").at(0);
+  EXPECT_EQ(res.at("variant").as_string(), "variable");
+  EXPECT_GT(res.at("solution_gflops").as_double(), 0.0);
+  const obs::Json& loc = res.at("locality");
+  const double lrf = loc.at("lrf").as_double();
+  const double srf = loc.at("srf").as_double();
+  const double memf = loc.at("mem").as_double();
+  EXPECT_GT(lrf, 0.5);  // the paper's whole point: >90% of refs in LRF
+  EXPECT_NEAR(lrf + srf + memf, 1.0, 1e-9);
+
+  // Overlap accounting from the controller-populated timeline.
+  const obs::Json& run = res.at("run");
+  EXPECT_GT(run.at("cycles").as_int(), 0);
+  const double hidden = run.at("mem_hidden_fraction").as_double();
+  EXPECT_GE(hidden, 0.0);
+  EXPECT_LE(hidden, 1.0);
+  EXPECT_GT(run.at("timeline").at("n_intervals").as_int(), 0);
+
+  // Telemetry snapshot: the run above must have bumped the sim counters.
+  const obs::Json& counters = rec.at("telemetry").at("counters");
+  EXPECT_GE(counters.at("sim.runs").as_int(), 1);
+  EXPECT_GT(counters.at("sim.kernel_launches").as_int(), 0);
+  EXPECT_GT(counters.at("mem.ops_issued").as_int(), 0);
 }
 
 }  // namespace

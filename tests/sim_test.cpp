@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
+#include <vector>
 
 #include "src/kernel/ir.h"
+#include "src/obs/json.h"
+#include "src/util/rng.h"
 #include "src/sim/config.h"
 #include "src/sim/kernelexec.h"
 #include "src/sim/machine.h"
@@ -83,6 +87,127 @@ TEST(Timeline, AsciiHasRows) {
   const std::string s = tl.ascii(100, 25);
   EXPECT_NE(s.find("kernel"), std::string::npos);
   EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(Timeline, IntervalStraddlingHorizonIsClipped) {
+  Timeline tl;
+  tl.add(Lane::kKernel, 90, 120, "k");
+  EXPECT_EQ(tl.busy_cycles(Lane::kKernel, 100), 10u);
+  EXPECT_EQ(tl.busy_cycles(Lane::kKernel, 200), 30u);
+}
+
+TEST(Timeline, IntervalEntirelyPastHorizonIgnored) {
+  Timeline tl;
+  tl.add(Lane::kMemory, 150, 170, "m");
+  EXPECT_EQ(tl.busy_cycles(Lane::kMemory, 100), 0u);
+  EXPECT_TRUE(tl.merged(Lane::kMemory, 100).empty());
+  EXPECT_EQ(tl.overlap_cycles(100), 0u);
+}
+
+TEST(Timeline, EmptyTimeline) {
+  Timeline tl;
+  EXPECT_TRUE(tl.empty());
+  EXPECT_EQ(tl.busy_cycles(Lane::kKernel, 1000), 0u);
+  EXPECT_EQ(tl.overlap_cycles(1000), 0u);
+  // ASCII rendering of an empty timeline must not crash and still shows
+  // the header.
+  const std::string s = tl.ascii(100, 25);
+  EXPECT_NE(s.find("kernel"), std::string::npos);
+  EXPECT_EQ(s.find('#'), std::string::npos);
+}
+
+TEST(Timeline, MergedSpansAreSortedAndDisjoint) {
+  Timeline tl;
+  tl.add(Lane::kMemory, 40, 60, "c");
+  tl.add(Lane::kMemory, 0, 10, "a");
+  tl.add(Lane::kMemory, 5, 20, "b");
+  tl.add(Lane::kMemory, 60, 70, "d");  // adjacent to c: merges
+  const auto spans = tl.merged(Lane::kMemory, 1000);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0], (std::pair<std::uint64_t, std::uint64_t>{0, 20}));
+  EXPECT_EQ(spans[1], (std::pair<std::uint64_t, std::uint64_t>{40, 70}));
+}
+
+TEST(Timeline, ChromeTraceJsonParsesBack) {
+  Timeline tl;
+  tl.add(Lane::kKernel, 0, 100, "kernel interact");
+  tl.add(Lane::kMemory, 20, 80, "gather s1", /*track=*/1);
+  const obs::Json doc = obs::Json::parse(tl.chrome_trace_json(1.0).dump(2));
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ns");
+  int kernel_slices = 0, memory_slices = 0;
+  for (const obs::Json& e : doc.at("traceEvents").elements()) {
+    if (e.at("ph").as_string() != "X") continue;
+    if (e.at("cat").as_string() == "kernel") ++kernel_slices;
+    if (e.at("cat").as_string() == "memory") ++memory_slices;
+    // At 1 GHz one cycle is one ns; ts/dur are microseconds.
+    EXPECT_GE(e.at("dur").as_double(), 0.0);
+  }
+  EXPECT_EQ(kernel_slices, 1);
+  EXPECT_EQ(memory_slices, 1);
+}
+
+// Reference occupancy implementation: the O(horizon) bitmap the Timeline
+// used before the interval-merge rewrite. The property test pits the two
+// against each other on randomized interval soups.
+struct BitmapOccupancy {
+  std::vector<bool> kernel, memory;
+  explicit BitmapOccupancy(std::uint64_t horizon)
+      : kernel(horizon, false), memory(horizon, false) {}
+  void add(Lane lane, std::uint64_t start, std::uint64_t end) {
+    auto& bits = lane == Lane::kKernel ? kernel : memory;
+    for (std::uint64_t c = start; c < end && c < bits.size(); ++c)
+      bits[c] = true;
+  }
+  std::uint64_t busy(Lane lane) const {
+    const auto& bits = lane == Lane::kKernel ? kernel : memory;
+    return static_cast<std::uint64_t>(std::count(bits.begin(), bits.end(), true));
+  }
+  std::uint64_t overlap() const {
+    std::uint64_t n = 0;
+    for (std::size_t c = 0; c < kernel.size(); ++c)
+      if (kernel[c] && memory[c]) ++n;
+    return n;
+  }
+};
+
+TEST(TimelineProperty, IntervalMergeMatchesBitmapOnRandomSoups) {
+  util::Rng rng(0xf16u);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t horizon = 1 + rng.uniform_u64(512);
+    Timeline tl;
+    BitmapOccupancy ref(horizon);
+    const int n_intervals = static_cast<int>(rng.uniform_u64(40));
+    for (int i = 0; i < n_intervals; ++i) {
+      const Lane lane = rng.uniform_u64(2) ? Lane::kKernel : Lane::kMemory;
+      // Deliberately allow zero-length, straddling, and fully-out-of-range
+      // intervals: the generator range is [0, 2*horizon).
+      const std::uint64_t a = rng.uniform_u64(2 * horizon);
+      const std::uint64_t b = rng.uniform_u64(2 * horizon);
+      const std::uint64_t start = std::min(a, b), end = std::max(a, b);
+      tl.add(lane, start, end, "iv", static_cast<int>(rng.uniform_u64(3)));
+      ref.add(lane, start, end);
+    }
+    EXPECT_EQ(tl.busy_cycles(Lane::kKernel, horizon), ref.busy(Lane::kKernel))
+        << "trial " << trial << " horizon " << horizon;
+    EXPECT_EQ(tl.busy_cycles(Lane::kMemory, horizon), ref.busy(Lane::kMemory))
+        << "trial " << trial << " horizon " << horizon;
+    EXPECT_EQ(tl.overlap_cycles(horizon), ref.overlap())
+        << "trial " << trial << " horizon " << horizon;
+    // The merged spans themselves are sorted, disjoint, clipped.
+    for (const Lane lane : {Lane::kKernel, Lane::kMemory}) {
+      std::uint64_t prev_end = 0;
+      bool first = true;
+      for (const auto& [s, e] : tl.merged(lane, horizon)) {
+        EXPECT_LT(s, e);
+        EXPECT_LE(e, horizon);
+        if (!first) {
+          EXPECT_GT(s, prev_end);  // disjoint and non-adjacent
+        }
+        prev_end = e;
+        first = false;
+      }
+    }
+  }
 }
 
 TEST(KernelCost, BlockedKernelCostsScaleWithRounds) {

@@ -102,6 +102,30 @@ TEST(Histogram, CountsAndClamping) {
   EXPECT_EQ(h.bucket(9), 1u);
 }
 
+TEST(Histogram, NanIsCountedSeparatelyNotBucketed) {
+  // Regression: NaN compares false with everything, so it used to fall
+  // through the clamp and hit an out-of-range double->size_t cast (UB).
+  Histogram h(0.0, 10.0, 10);
+  h.add(std::nan(""));
+  h.add(-std::nan(""));
+  h.add(5.0);
+  EXPECT_EQ(h.nan_count(), 2u);
+  EXPECT_EQ(h.total(), 1u);  // NaN never lands in a bucket
+  std::uint64_t bucketed = 0;
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) bucketed += h.bucket(i);
+  EXPECT_EQ(bucketed, 1u);
+}
+
+TEST(Histogram, InfinitiesClampToEndBuckets) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.nan_count(), 0u);
+}
+
 TEST(Histogram, BucketBoundaries) {
   Histogram h(0.0, 10.0, 10);
   EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
