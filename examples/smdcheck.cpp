@@ -1,0 +1,150 @@
+// smdcheck: static verifier + lint driver for every built-in kernel,
+// stream program and blocking scheme.
+//
+//   smdcheck [--all] [--n-molecules N] [--verbose] [--json out.json]
+//
+// Runs the IR verifier (analysis/verify_ir.h) over every built-in kernel --
+// the four variant kernels, the expanded+energy kernel, the multi-site
+// kernels and the blocked kernel -- then builds each variant's layout and
+// strip-mined stream program for a small water box and runs the
+// stream-program checker (analysis/check_stream.h) including the
+// scatter-add race detector over the controller's dependence graph, and
+// finally walks the blocking schemes' interaction assignments. Exit status
+// is 0 iff no check reported an error; warnings are printed (and counted
+// in the JSON artifact) but do not fail the run.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_io.h"
+#include "src/analysis/check_stream.h"
+#include "src/analysis/verify_ir.h"
+#include "src/core/blocking.h"
+#include "src/core/kernels.h"
+#include "src/core/program.h"
+#include "src/core/run.h"
+#include "src/md/water.h"
+#include "src/sim/config.h"
+
+namespace {
+
+using smd::analysis::Diagnostics;
+using smd::analysis::Severity;
+
+struct Report {
+  smd::obs::Json units = smd::obs::Json::array();
+  int errors = 0;
+  int warnings = 0;
+  bool verbose = false;
+
+  void add(const std::string& kind, const std::string& name,
+           const Diagnostics& diags) {
+    errors += diags.errors();
+    warnings += diags.warnings();
+    int notes = 0;
+    for (const auto& d : diags.all()) {
+      if (d.severity == Severity::kNote) {
+        ++notes;
+        if (verbose) std::printf("  %s\n", d.str().c_str());
+      } else {
+        std::printf("  %s\n", d.str().c_str());
+      }
+    }
+    if (diags.errors() > 0) {
+      std::printf("%-8s %-24s FAIL (%d errors, %d warnings)\n", kind.c_str(),
+                  name.c_str(), diags.errors(), diags.warnings());
+    } else {
+      std::printf("%-8s %-24s ok (%d warnings, %d notes)\n", kind.c_str(),
+                  name.c_str(), diags.warnings(), notes);
+    }
+    smd::obs::Json u = diags.to_json();
+    u.set("kind", kind);
+    u.set("unit", name);
+    units.push_back(std::move(u));
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace smd;
+  benchio::JsonOut json(argc, argv, "smdcheck");
+
+  int n_molecules = 64;
+  const std::string n_flag = benchio::flag_value(argc, argv, "n-molecules");
+  if (!n_flag.empty()) n_molecules = std::stoi(n_flag);
+  Report report;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verbose") == 0) report.verbose = true;
+  }
+
+  const sim::MachineConfig cfg = sim::MachineConfig::merrimac();
+  analysis::VerifyOptions vopts;
+  vopts.lrf_words = cfg.lrf_words_per_cluster;
+
+  // ---- Pass 1: IR verifier over every built-in kernel. ---------------------
+  const md::WaterModel model = md::spc();
+  for (core::Variant v :
+       {core::Variant::kExpanded, core::Variant::kFixed,
+        core::Variant::kVariable, core::Variant::kDuplicated}) {
+    const kernel::KernelDef def = core::build_water_kernel(v, model);
+    report.add("kernel", def.name, analysis::verify_kernel(def, vopts));
+  }
+  {
+    const kernel::KernelDef def = core::build_expanded_energy_kernel(model);
+    report.add("kernel", def.name, analysis::verify_kernel(def, vopts));
+  }
+  for (const md::WaterModel& m : {md::spc(), md::tip5p(), md::ppc()}) {
+    const kernel::KernelDef def = core::build_multisite_kernel(m);
+    report.add("kernel", def.name, analysis::verify_kernel(def, vopts));
+  }
+  {
+    const kernel::KernelDef def = core::build_blocked_kernel(model, 1.0, 64);
+    report.add("kernel", def.name, analysis::verify_kernel(def, vopts));
+  }
+
+  // ---- Pass 2: stream-program checker per variant. -------------------------
+  core::ExperimentSetup setup;
+  setup.n_molecules = n_molecules;
+  const core::Problem problem = core::Problem::make(setup);
+  for (core::Variant v :
+       {core::Variant::kExpanded, core::Variant::kFixed,
+        core::Variant::kVariable, core::Variant::kDuplicated}) {
+    core::LayoutOptions lopts;
+    lopts.n_clusters = cfg.n_clusters;
+    lopts.fixed_list_length = setup.fixed_list_length;
+    lopts.srf_words = cfg.srf_words;
+    const core::VariantLayout layout =
+        core::build_layout(v, problem.system, problem.half_list, lopts);
+    const kernel::KernelDef kdef =
+        core::build_water_kernel(v, problem.system.model());
+    mem::GlobalMemory memory;
+    const core::ProblemImage image = core::upload_system(memory, problem.system);
+    const sim::StreamProgram program =
+        core::build_program(memory, image, layout, kdef);
+    analysis::StreamCheckOptions sopts;
+    sopts.program_name = std::string("program_") + core::variant_name(v);
+    sopts.n_clusters = cfg.n_clusters;
+    sopts.srf_words = cfg.srf_words;
+    sopts.memory_words = memory.size();
+    report.add("program", sopts.program_name,
+               analysis::check_stream_program(program, sopts));
+  }
+
+  // ---- Pass 3: scatter-add race check over the blocking schemes. -----------
+  for (int cells : core::builtin_blocking_cells()) {
+    const core::BlockingScheme scheme =
+        core::build_blocking_scheme(problem.system, cells, cfg.n_clusters);
+    report.add("scheme", scheme.name,
+               analysis::check_scatter_assignment(scheme.to_scatter_assignment()));
+  }
+
+  std::printf("smdcheck: %d errors, %d warnings\n", report.errors,
+              report.warnings);
+  json.root().set("n_molecules", n_molecules);
+  json.root().set("errors", report.errors);
+  json.root().set("warnings", report.warnings);
+  json.root().set("units", std::move(report.units));
+  return report.errors > 0 ? 1 : 0;
+}

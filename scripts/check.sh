@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, and run the test suite under the
-# default config and again under AddressSanitizer + UBSanitizer. Run from
-# the repository root:
+# Tier-1 verification: configure, build, test, and static-check the tree
+# under the default config and again under AddressSanitizer + UBSanitizer.
+# Run from the repository root:
 #
 #   scripts/check.sh            # both configurations
 #   scripts/check.sh default    # just the default build
 #   scripts/check.sh asan-ubsan # just the sanitizer build
+#
+# Each preset also runs `smdcheck --all` (the static verifier over every
+# built-in kernel, stream program and blocking scheme — see DESIGN.md
+# "Static checking"). clang-tidy runs once over src/ when available.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,10 +18,26 @@ if [ ${#presets[@]} -eq 0 ]; then
   presets=(default asan-ubsan)
 fi
 
+declare -A build_dir=([default]=build [asan-ubsan]=build-asan-ubsan)
+
 for preset in "${presets[@]}"; do
   echo "==== preset: ${preset} ===="
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "$(nproc)"
   ctest --preset "${preset}" -j "$(nproc)"
+  echo "==== smdcheck --all (${preset}) ===="
+  "${build_dir[${preset}]}/examples/smdcheck" --all
 done
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "==== clang-tidy ===="
+  tidy_build=${build_dir[${presets[0]}]}
+  if [ ! -f "${tidy_build}/compile_commands.json" ]; then
+    cmake --preset "${presets[0]}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  fi
+  find src -name '*.cpp' -print0 |
+    xargs -0 -P "$(nproc)" -n 8 clang-tidy -p "${tidy_build}" --quiet
+else
+  echo "==== clang-tidy not found; skipping lint ===="
+fi
 echo "==== all checks passed ===="

@@ -1,0 +1,60 @@
+// Static verifier + lint for kernel IR (the first smdcheck pass).
+//
+// Checks a kernel::Program-level KernelDef before it reaches the
+// interpreter or the VLIW scheduler, turning silent out-of-range register
+// reads and SIMD-illegal stream usage into stable, located diagnostics.
+//
+// Check-ID catalogue (severity in parentheses; see DESIGN.md):
+//   IR001 (error)   register index out of range for the declared LRF size
+//   IR002 (error)   stream slot out of range
+//   IR003 (error)   use of a register that is never defined
+//   IR004 (warning) register may be read before its first definition on the
+//                   first iteration (relies on zero-initialized LRF);
+//                   merge-style instructions whose destination is also a
+//                   source (conditional reads, select-accumulate) are exempt
+//   IR005 (error)   stream direction mismatch (read of an output stream /
+//                   write of an input stream)
+//   IR006 (error)   access word count differs from the declared record_words
+//   IR007 (error)   conditional access of a non-conditional stream decl
+//   IR008 (error)   plain access of a conditional stream decl
+//   IR009 (error)   SIMD legality: predicate register of a conditional
+//                   access is not defined before the access
+//   IR010 (error)   multiple broadcast reads of one stream in the body
+//   IR011 (error)   non-positive stream access count
+//   IR012 (warning) dead write: computed register value never read
+//                   (note-severity when the dead value is a kConst, since
+//                   constants are preloaded through the microcode store)
+//   IR013 (warning) unused stream declaration
+//   IR014 (error)   block_len < 1
+//   IR015 (warning) peak LRF pressure exceeds the per-cluster LRF capacity
+//   IR016 (note)    per-kernel LRF pressure report (always emitted)
+#pragma once
+
+#include "src/analysis/diag.h"
+#include "src/kernel/ir.h"
+
+namespace smd::analysis {
+
+struct VerifyOptions {
+  /// Per-cluster LRF capacity in words (MachineConfig::lrf_words_per_cluster).
+  int lrf_words = 768;
+  /// Emit the IR016 pressure note (off for terse pre-flight use).
+  bool report_pressure = true;
+};
+
+/// Peak register pressure of a kernel: the maximum number of
+/// simultaneously-live registers over the linearized section order, with
+/// loop-carried registers held live across the whole body.
+int kernel_lrf_pressure(const kernel::KernelDef& def);
+
+/// Run all IR checks; never throws.
+Diagnostics verify_kernel(const kernel::KernelDef& def,
+                          const VerifyOptions& opts = {});
+
+/// Pre-flight entry point used by the interpreter and the scheduler:
+/// counts findings into the global registry under "analysis.ir" and throws
+/// CheckFailure when the verifier reports errors.
+void require_valid_kernel(const kernel::KernelDef& def,
+                          const VerifyOptions& opts = {});
+
+}  // namespace smd::analysis

@@ -144,4 +144,61 @@ BlockedImplProfile profile_blocked_implementation(
   return p;
 }
 
+analysis::ScatterAssignment BlockingScheme::to_scatter_assignment(
+    std::uint64_t force_base) const {
+  analysis::ScatterAssignment a;
+  a.name = name;
+  a.n_rows = n_molecules + 1;  // + trash row
+  a.trash_row = trash_row();
+  a.combining = combining;
+  a.base = force_base;
+  a.record_words = 9;
+  a.block_rows = block_rows;
+  return a;
+}
+
+BlockingScheme build_blocking_scheme(const md::WaterSystem& sys,
+                                     int cells_per_dim, int n_clusters) {
+  if (cells_per_dim < 1) throw std::runtime_error("cells_per_dim < 1");
+  if (n_clusters < 1) throw std::runtime_error("n_clusters < 1");
+  BlockingScheme scheme;
+  scheme.name = "blocked_c" + std::to_string(cells_per_dim);
+  scheme.cells_per_dim = cells_per_dim;
+  scheme.n_lanes = n_clusters;
+  scheme.n_molecules = sys.n_molecules();
+
+  // Bin molecules by wrapped center, as profile_blocked_implementation does.
+  const double edge = sys.box().length.x;
+  const double s = edge / cells_per_dim;
+  const int n_cells = cells_per_dim * cells_per_dim * cells_per_dim;
+  std::vector<std::vector<std::int64_t>> members(
+      static_cast<std::size_t>(n_cells));
+  for (int m = 0; m < sys.n_molecules(); ++m) {
+    const md::Vec3 w = sys.box().wrap(sys.molecule_center(m));
+    const int cx = std::min(cells_per_dim - 1, static_cast<int>(w.x / s));
+    const int cy = std::min(cells_per_dim - 1, static_cast<int>(w.y / s));
+    const int cz = std::min(cells_per_dim - 1, static_cast<int>(w.z / s));
+    members[static_cast<std::size_t>((cx * cells_per_dim + cy) * cells_per_dim +
+                                     cz)]
+        .push_back(m);
+  }
+
+  // Pack each cell's molecules into n_clusters-wide central groups; padding
+  // lanes update the trash row.
+  for (const auto& cell : members) {
+    for (std::size_t first = 0; first < cell.size();
+         first += static_cast<std::size_t>(n_clusters)) {
+      std::vector<std::int64_t> lanes(static_cast<std::size_t>(n_clusters),
+                                      scheme.trash_row());
+      const std::size_t end =
+          std::min(cell.size(), first + static_cast<std::size_t>(n_clusters));
+      for (std::size_t k = first; k < end; ++k) lanes[k - first] = cell[k];
+      scheme.block_rows.push_back(std::move(lanes));
+    }
+  }
+  return scheme;
+}
+
+std::vector<int> builtin_blocking_cells() { return {2, 3, 4}; }
+
 }  // namespace smd::core

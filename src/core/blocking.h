@@ -16,8 +16,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "src/analysis/check_stream.h"
 #include "src/kernel/schedule.h"
 #include "src/md/neighborlist.h"
 #include "src/md/system.h"
@@ -101,5 +103,42 @@ BlockedImplProfile profile_blocked_implementation(
     double cutoff, int cells_per_dim,
     const kernel::ScheduleOptions& sched = {.unroll = 2}, int n_clusters = 16,
     double mem_words_per_cycle = 4.0);
+
+/// The blocking scheme's interaction *assignment*: which central-force row
+/// each SIMD lane of each kernel block updates. This is the artifact the
+/// scatter-add race detector (analysis::check_scatter_assignment) walks --
+/// the paper's Section 4 argument that colliding force updates are safe
+/// holds only while every collision goes through the scatter-add unit, so
+/// the assignment records whether writeback combines and where padding
+/// lanes park their dummy contributions (the trash row).
+struct BlockingScheme {
+  std::string name;
+  int cells_per_dim = 0;
+  int n_lanes = 0;                ///< SIMD clusters per central group
+  std::int64_t n_molecules = 0;
+  bool combining = true;          ///< writeback uses the scatter-add units
+  /// blocks x lanes: force row updated by each lane (row n_molecules = the
+  /// trash row absorbing padding-lane contributions).
+  std::vector<std::vector<std::int64_t>> block_rows;
+
+  std::int64_t trash_row() const { return n_molecules; }
+
+  /// Reduce to the analysis pass's input (force rows are 9-word records
+  /// starting at `force_base`, matching the shared memory-image layout).
+  analysis::ScatterAssignment to_scatter_assignment(
+      std::uint64_t force_base = 0) const;
+};
+
+/// Build the blocking scheme's assignment for a system: molecules are
+/// binned by wrapped center into cells_per_dim^3 cells (exactly as
+/// profile_blocked_implementation does) and each cell's molecules are
+/// packed into groups of `n_clusters` lanes, padding the last group with
+/// trash-row lanes.
+BlockingScheme build_blocking_scheme(const md::WaterSystem& sys,
+                                     int cells_per_dim, int n_clusters = 16);
+
+/// Cell granularities smdcheck lints by default (the Figure 11/12 sweep's
+/// implementable range for small boxes).
+std::vector<int> builtin_blocking_cells();
 
 }  // namespace smd::core

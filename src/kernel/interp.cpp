@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/analysis/verify_ir.h"
+
 namespace smd::kernel {
 
 InterpStats& InterpStats::operator+=(const InterpStats& o) {
@@ -16,18 +18,32 @@ InterpStats& InterpStats::operator+=(const InterpStats& o) {
   return *this;
 }
 
-Interpreter::Interpreter(const KernelDef& def, int n_clusters)
-    : def_(def), n_clusters_(n_clusters) {
-  def_.validate();
-}
-
 namespace {
+
+/// Runtime backstop behind the static pre-flight: report through the
+/// diagnostics engine and fail the run cleanly instead of indexing out of
+/// range (defined behavior in release builds too).
+[[noreturn]] void runtime_fail(const KernelDef& def, const char* id,
+                               std::string message) {
+  analysis::Diagnostics d;
+  d.error(id, {def.name, "runtime", -1}, std::move(message));
+  d.count_into_registry("analysis.runtime");
+  throw analysis::CheckFailure(std::move(d));
+}
 
 struct Cursors {
   std::vector<std::size_t> in;  // per stream slot
 };
 
 }  // namespace
+
+Interpreter::Interpreter(const KernelDef& def, int n_clusters)
+    : def_(def), n_clusters_(n_clusters) {
+  // Static pre-flight: bounds, def-before-use, stream-decl conformance and
+  // SIMD legality (fatal on error; warnings land in the obs registry).
+  // Subsumes KernelDef::validate().
+  analysis::require_valid_kernel(def_);
+}
 
 InterpStats Interpreter::run(const StreamBindings& bindings, std::int64_t rounds) {
   if (bindings.inputs.size() != def_.streams.size() ||
@@ -44,92 +60,93 @@ InterpStats Interpreter::run(const StreamBindings& bindings, std::int64_t rounds
 
   auto exec = [&](int cluster, const std::vector<Instr>& prog) {
     auto& r = regs[static_cast<std::size_t>(cluster)];
+    // Checked LRF access: the verifier proves these statically, so the
+    // branch never fires for verified kernels; it exists to keep a
+    // malformed instruction from becoming UB.
+    auto R = [&](int idx) -> double& {
+      if (idx < 0 || idx >= def_.n_regs) {
+        runtime_fail(def_, "IR001",
+                     "register " + std::to_string(idx) +
+                         " out of range [0, " + std::to_string(def_.n_regs) +
+                         ")");
+      }
+      return r[static_cast<std::size_t>(idx)];
+    };
+    auto slot = [&](int s) -> std::size_t {
+      if (s < 0 || s >= static_cast<int>(def_.streams.size())) {
+        runtime_fail(def_, "IR002",
+                     "stream slot " + std::to_string(s) + " out of range (" +
+                         std::to_string(def_.streams.size()) + " declared)");
+      }
+      return static_cast<std::size_t>(s);
+    };
     for (const auto& in : prog) {
       switch (in.op) {
         case Opcode::kConst:
-          r[static_cast<std::size_t>(in.dst)] = in.imm;
+          R(in.dst) = in.imm;
           stats.lrf_refs += 1;
           break;
         case Opcode::kMov:
-          r[static_cast<std::size_t>(in.dst)] = r[static_cast<std::size_t>(in.a)];
+          R(in.dst) = R(in.a);
           stats.lrf_refs += 2;
           break;
         case Opcode::kAdd:
-          r[static_cast<std::size_t>(in.dst)] =
-              r[static_cast<std::size_t>(in.a)] + r[static_cast<std::size_t>(in.b)];
+          R(in.dst) = R(in.a) + R(in.b);
           stats.lrf_refs += 3;
           break;
         case Opcode::kSub:
-          r[static_cast<std::size_t>(in.dst)] =
-              r[static_cast<std::size_t>(in.a)] - r[static_cast<std::size_t>(in.b)];
+          R(in.dst) = R(in.a) - R(in.b);
           stats.lrf_refs += 3;
           break;
         case Opcode::kMul:
-          r[static_cast<std::size_t>(in.dst)] =
-              r[static_cast<std::size_t>(in.a)] * r[static_cast<std::size_t>(in.b)];
+          R(in.dst) = R(in.a) * R(in.b);
           stats.lrf_refs += 3;
           break;
         case Opcode::kMadd:
-          r[static_cast<std::size_t>(in.dst)] =
-              r[static_cast<std::size_t>(in.a)] * r[static_cast<std::size_t>(in.b)] +
-              r[static_cast<std::size_t>(in.c)];
+          R(in.dst) = R(in.a) * R(in.b) + R(in.c);
           stats.lrf_refs += 4;
           break;
         case Opcode::kMsub:
-          r[static_cast<std::size_t>(in.dst)] =
-              r[static_cast<std::size_t>(in.a)] * r[static_cast<std::size_t>(in.b)] -
-              r[static_cast<std::size_t>(in.c)];
+          R(in.dst) = R(in.a) * R(in.b) - R(in.c);
           stats.lrf_refs += 4;
           break;
         case Opcode::kDiv:
-          r[static_cast<std::size_t>(in.dst)] =
-              r[static_cast<std::size_t>(in.a)] / r[static_cast<std::size_t>(in.b)];
+          R(in.dst) = R(in.a) / R(in.b);
           stats.lrf_refs += 3;
           break;
         case Opcode::kSqrt:
-          r[static_cast<std::size_t>(in.dst)] =
-              std::sqrt(r[static_cast<std::size_t>(in.a)]);
+          R(in.dst) = std::sqrt(R(in.a));
           stats.lrf_refs += 2;
           break;
         case Opcode::kRsqrt:
-          r[static_cast<std::size_t>(in.dst)] =
-              1.0 / std::sqrt(r[static_cast<std::size_t>(in.a)]);
+          R(in.dst) = 1.0 / std::sqrt(R(in.a));
           stats.lrf_refs += 2;
           break;
         case Opcode::kCmpEq:
-          r[static_cast<std::size_t>(in.dst)] =
-              (r[static_cast<std::size_t>(in.a)] == r[static_cast<std::size_t>(in.b)])
-                  ? 1.0
-                  : 0.0;
+          R(in.dst) = (R(in.a) == R(in.b)) ? 1.0 : 0.0;
           stats.lrf_refs += 3;
           break;
         case Opcode::kCmpLt:
-          r[static_cast<std::size_t>(in.dst)] =
-              (r[static_cast<std::size_t>(in.a)] < r[static_cast<std::size_t>(in.b)])
-                  ? 1.0
-                  : 0.0;
+          R(in.dst) = (R(in.a) < R(in.b)) ? 1.0 : 0.0;
           stats.lrf_refs += 3;
           break;
         case Opcode::kSel:
-          r[static_cast<std::size_t>(in.dst)] =
-              (r[static_cast<std::size_t>(in.c)] != 0.0)
-                  ? r[static_cast<std::size_t>(in.a)]
-                  : r[static_cast<std::size_t>(in.b)];
+          R(in.dst) = (R(in.c) != 0.0) ? R(in.a) : R(in.b);
           stats.lrf_refs += 4;
           break;
         case Opcode::kReadBcast: {
           // Every cluster receives the same record through the
           // inter-cluster switch; the shared cursor advances after the
           // last cluster has read it.
-          auto& cursor = cur.in[static_cast<std::size_t>(in.stream)];
-          const auto& src = bindings.inputs[static_cast<std::size_t>(in.stream)];
+          const std::size_t s = slot(in.stream);
+          auto& cursor = cur.in[s];
+          const auto& src = bindings.inputs[s];
           if (cursor + static_cast<std::size_t>(in.count) > src.size()) {
             throw std::runtime_error(def_.name + ": input stream '" +
-                                     def_.streams[static_cast<std::size_t>(in.stream)].name +
-                                     "' exhausted");
+                                     def_.streams[s].name + "' exhausted");
           }
           for (int w = 0; w < in.count; ++w) {
-            r[static_cast<std::size_t>(in.dst + w)] = src[cursor + static_cast<std::size_t>(w)];
+            R(in.dst + w) = src[cursor + static_cast<std::size_t>(w)];
           }
           stats.lrf_refs += in.count;
           if (cluster == n_clusters_ - 1) {
@@ -143,18 +160,18 @@ InterpStats Interpreter::run(const StreamBindings& bindings, std::int64_t rounds
           const bool cond = (in.op == Opcode::kReadCond);
           if (cond) {
             ++stats.cond_accesses;
-            if (r[static_cast<std::size_t>(in.c)] == 0.0) break;
+            if (R(in.c) == 0.0) break;
             ++stats.cond_taken;
           }
-          auto& cursor = cur.in[static_cast<std::size_t>(in.stream)];
-          const auto& src = bindings.inputs[static_cast<std::size_t>(in.stream)];
+          const std::size_t s = slot(in.stream);
+          auto& cursor = cur.in[s];
+          const auto& src = bindings.inputs[s];
           if (cursor + static_cast<std::size_t>(in.count) > src.size()) {
             throw std::runtime_error(def_.name + ": input stream '" +
-                                     def_.streams[static_cast<std::size_t>(in.stream)].name +
-                                     "' exhausted");
+                                     def_.streams[s].name + "' exhausted");
           }
           for (int w = 0; w < in.count; ++w) {
-            r[static_cast<std::size_t>(in.dst + w)] = src[cursor + static_cast<std::size_t>(w)];
+            R(in.dst + w) = src[cursor + static_cast<std::size_t>(w)];
           }
           cursor += static_cast<std::size_t>(in.count);
           stats.srf_read_words += in.count;
@@ -166,15 +183,15 @@ InterpStats Interpreter::run(const StreamBindings& bindings, std::int64_t rounds
           const bool cond = (in.op == Opcode::kWriteCond);
           if (cond) {
             ++stats.cond_accesses;
-            if (r[static_cast<std::size_t>(in.c)] == 0.0) break;
+            if (R(in.c) == 0.0) break;
             ++stats.cond_taken;
           }
-          auto* sink = bindings.outputs[static_cast<std::size_t>(in.stream)];
+          auto* sink = bindings.outputs[slot(in.stream)];
           if (sink == nullptr) {
             throw std::runtime_error(def_.name + ": output stream not bound");
           }
           for (int w = 0; w < in.count; ++w) {
-            sink->push_back(r[static_cast<std::size_t>(in.a + w)]);
+            sink->push_back(R(in.a + w));
           }
           stats.srf_write_words += in.count;
           stats.lrf_refs += in.count;  // LRF reads of the stored words

@@ -6,7 +6,21 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/analysis/verify_ir.h"
+
 namespace smd::kernel {
+
+ScheduleError::ScheduleError(std::string kernel, int res_mii, int max_ii,
+                             std::string conflict)
+    : std::runtime_error(kernel + ": no schedule found up to II=" +
+                         std::to_string(max_ii) + " (resource lower bound " +
+                         std::to_string(res_mii) + ", binding conflict: " +
+                         conflict + ")"),
+      kernel_(std::move(kernel)),
+      res_mii_(res_mii),
+      max_ii_(max_ii),
+      conflict_(std::move(conflict)) {}
+
 namespace {
 
 /// Unrolled, register-renamed op with explicit source/destination value ids.
@@ -352,6 +366,9 @@ Placement try_schedule(const Graph& g, const ScheduleOptions& opts, int ii) {
 }  // namespace
 
 Schedule schedule_body(const KernelDef& def, const ScheduleOptions& opts) {
+  // Static pre-flight: reject malformed IR with located diagnostics before
+  // the scheduler walks it (fatal on error, warnings counted).
+  analysis::require_valid_kernel(def);
   if (def.body.empty()) {
     Schedule s;
     s.ii = 0;
@@ -377,21 +394,34 @@ Schedule schedule_body(const KernelDef& def, const ScheduleOptions& opts) {
   out.fpu_slot_cycles = fpu_slot_cycles;
   out.pipelined = opts.software_pipeline;
 
+  // The binding conflict that sets the resource lower bound on II.
+  const int fpu_bound = (fpu_slot_cycles + opts.n_fpus - 1) / opts.n_fpus;
+  const int srf_bound =
+      (srf_words + opts.srf_words_per_cycle - 1) / opts.srf_words_per_cycle;
+  const int cond_bound = (cond_ops + opts.cond_units - 1) / opts.cond_units;
+  const int res_mii = std::max({fpu_bound, srf_bound, cond_bound, max_slots});
+  auto conflict_name = [&]() -> const char* {
+    if (res_mii == fpu_bound) return "FPU slots";
+    if (res_mii == srf_bound) return "SRF port";
+    if (res_mii == cond_bound) return "conditional units";
+    return "iterative-op occupancy";
+  };
+
   Placement placement;
   int ii = 0;
   if (opts.software_pipeline) {
-    const int res_mii = std::max(
-        {(fpu_slot_cycles + opts.n_fpus - 1) / opts.n_fpus,
-         (srf_words + opts.srf_words_per_cycle - 1) / opts.srf_words_per_cycle,
-         (cond_ops + opts.cond_units - 1) / opts.cond_units, max_slots});
     for (ii = std::max(res_mii, 1); ii <= opts.max_ii; ++ii) {
       placement = try_schedule(g, opts, ii);
       if (placement.ok) break;
     }
-    if (!placement.ok) throw std::runtime_error(def.name + ": no modulo schedule");
+    if (!placement.ok) {
+      throw ScheduleError(def.name, res_mii, opts.max_ii, conflict_name());
+    }
   } else {
     placement = try_schedule(g, opts, 0);
-    if (!placement.ok) throw std::runtime_error(def.name + ": list schedule failed");
+    if (!placement.ok) {
+      throw ScheduleError(def.name, res_mii, 0, conflict_name());
+    }
   }
 
   int depth = 0;

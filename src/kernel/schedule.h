@@ -17,6 +17,7 @@
 // (true, anti and output register dependences plus same-stream ordering).
 #pragma once
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,30 @@
 #include "src/kernel/ir.h"
 
 namespace smd::kernel {
+
+/// Structured diagnostic thrown when scheduling fails (modulo scheduling
+/// exhausts max_ii, or list scheduling cannot place an op): carries the
+/// kernel name, the search bounds and the binding conflict that set the
+/// resource lower bound, so callers can report it instead of a bare string.
+class ScheduleError : public std::runtime_error {
+ public:
+  ScheduleError(std::string kernel, int res_mii, int max_ii,
+                std::string conflict);
+
+  const std::string& kernel() const { return kernel_; }
+  /// Resource-bound lower limit on II (the best any schedule could do).
+  int res_mii() const { return res_mii_; }
+  /// Largest II the search tried before giving up (0 for list mode).
+  int max_ii() const { return max_ii_; }
+  /// The binding conflict behind the bound ("FPU slots", "SRF port", ...).
+  const std::string& conflict() const { return conflict_; }
+
+ private:
+  std::string kernel_;
+  int res_mii_ = 0;
+  int max_ii_ = 0;
+  std::string conflict_;
+};
 
 struct ScheduleOptions {
   int n_fpus = 4;

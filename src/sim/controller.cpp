@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/analysis/check_stream.h"
 #include "src/obs/registry.h"
 
 namespace smd::sim {
@@ -55,6 +56,16 @@ Controller::Controller(const MachineConfig& cfg, mem::GlobalMemory* memory)
 RunStats Controller::run(const StreamProgram& program) {
   obs::ScopedTimer run_timer(obs::CounterRegistry::global(),
                              "sim.controller_run");
+  // Static pre-flight: slot lifetimes, capacities, address ranges and
+  // concurrent-update races, fatal on error (warnings are counted into the
+  // obs registry under analysis.stream).
+  {
+    analysis::StreamCheckOptions check;
+    check.n_clusters = cfg_.n_clusters;
+    check.srf_words = cfg_.srf_words;
+    check.memory_words = memory_ != nullptr ? memory_->size() : 0;
+    analysis::require_valid_stream_program(program, check);
+  }
   mem::MemSystem memsys(cfg_.mem, memory_);
   SrfAllocator srf(cfg_.srf_words);
   KernelCostCache costs(cfg_.sched);

@@ -1,0 +1,492 @@
+// Tests for the static-analysis passes (src/analysis/): golden diagnostics
+// for hand-built malformed IR and stream programs -- each asserting the
+// stable check ID and location -- plus property tests that every built-in
+// kernel variant, stream program and blocking scheme is lint-clean.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/check_stream.h"
+#include "src/analysis/diag.h"
+#include "src/analysis/verify_ir.h"
+#include "src/core/blocking.h"
+#include "src/core/kernels.h"
+#include "src/core/layouts.h"
+#include "src/core/program.h"
+#include "src/core/run.h"
+#include "src/md/water.h"
+#include "src/mem/memsys.h"
+#include "src/sim/config.h"
+#include "src/sim/streamop.h"
+
+namespace smd {
+namespace {
+
+using analysis::CheckFailure;
+using analysis::Diagnostic;
+using analysis::Diagnostics;
+using analysis::Severity;
+using kernel::Instr;
+using kernel::KernelDef;
+using kernel::Opcode;
+using kernel::StreamDecl;
+using kernel::StreamDir;
+
+// ---------------------------------------------------------------------------
+// Golden malformed-IR cases. Kernels are built by hand (not through
+// KernelBuilder, whose build() already validates) so each case isolates
+// exactly one defect.
+// ---------------------------------------------------------------------------
+
+/// Minimal well-formed skeleton: one input, one output, body copies a
+/// record through. Cases below mutate one aspect of it.
+KernelDef skeleton() {
+  KernelDef k;
+  k.name = "malformed";
+  k.n_regs = 8;
+  k.streams.push_back({"x", StreamDir::kIn, 1, false});
+  k.streams.push_back({"y", StreamDir::kOut, 1, false});
+  k.body.push_back({Opcode::kRead, /*dst=*/0, -1, -1, -1, /*stream=*/0, 1});
+  k.body.push_back({Opcode::kWrite, -1, /*a=*/0, -1, -1, /*stream=*/1, 1});
+  return k;
+}
+
+/// The one diagnostic with the given ID, asserting it exists.
+const Diagnostic* expect_diag(const Diagnostics& d, const std::string& id) {
+  const Diagnostic* found = d.find(id);
+  EXPECT_NE(found, nullptr) << "expected " << id << " in:\n" << d.format();
+  return found;
+}
+
+TEST(VerifyIr, UseBeforeDefOfNeverDefinedRegisterIsIR003) {
+  KernelDef k = skeleton();
+  // Register 5 is never defined anywhere but feeds the sum.
+  k.body.insert(k.body.begin() + 1,
+                {Opcode::kAdd, /*dst=*/1, /*a=*/0, /*b=*/5});
+  const Diagnostics d = analysis::verify_kernel(k);
+  const Diagnostic* g = expect_diag(d, "IR003");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kError);
+  EXPECT_EQ(g->loc.unit, "malformed");
+  EXPECT_EQ(g->loc.section, "body");
+  EXPECT_EQ(g->loc.index, 1);
+  EXPECT_THROW(analysis::require_valid_kernel(k), CheckFailure);
+}
+
+TEST(VerifyIr, RegisterOutOfRangeIsIR001) {
+  KernelDef k = skeleton();
+  k.body.insert(k.body.begin() + 1, {Opcode::kMov, /*dst=*/7, /*a=*/99});
+  const Diagnostics d = analysis::verify_kernel(k);
+  const Diagnostic* g = expect_diag(d, "IR001");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kError);
+  EXPECT_EQ(g->loc.str(), "malformed:body[1]");
+}
+
+TEST(VerifyIr, StreamSlotOutOfRangeIsIR002) {
+  KernelDef k = skeleton();
+  k.body[0].stream = 3;  // only slots 0 and 1 are declared
+  const Diagnostics d = analysis::verify_kernel(k);
+  const Diagnostic* g = expect_diag(d, "IR002");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kError);
+  EXPECT_EQ(g->loc.str(), "malformed:body[0]");
+}
+
+TEST(VerifyIr, ReadOfOutputStreamIsDirectionMismatchIR005) {
+  KernelDef k = skeleton();
+  k.body[0].stream = 1;  // read targets the output decl
+  const Diagnostics d = analysis::verify_kernel(k);
+  const Diagnostic* g = expect_diag(d, "IR005");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kError);
+  EXPECT_EQ(g->loc.index, 0);
+}
+
+TEST(VerifyIr, CountRecordWordsMismatchIsIR006) {
+  KernelDef k = skeleton();
+  k.body[0].count = 2;  // decl says 1 word per record
+  const Diagnostics d = analysis::verify_kernel(k);
+  const Diagnostic* g = expect_diag(d, "IR006");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kError);
+  EXPECT_EQ(g->loc.str(), "malformed:body[0]");
+}
+
+TEST(VerifyIr, ConditionalAccessOfNonConditionalDeclIsIR007) {
+  KernelDef k = skeleton();
+  k.prologue.push_back({Opcode::kConst, /*dst=*/4});  // predicate
+  k.body[0] = {Opcode::kReadCond, /*dst=*/0, -1, -1, /*c=*/4, /*stream=*/0, 1};
+  const Diagnostics d = analysis::verify_kernel(k);
+  const Diagnostic* g = expect_diag(d, "IR007");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kError);
+  EXPECT_EQ(g->loc.section, "body");
+}
+
+TEST(VerifyIr, PlainAccessOfConditionalDeclIsIR008) {
+  KernelDef k = skeleton();
+  k.streams[0].conditional = true;  // decl conditional, access plain
+  const Diagnostics d = analysis::verify_kernel(k);
+  const Diagnostic* g = expect_diag(d, "IR008");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kError);
+}
+
+TEST(VerifyIr, UndefinedPredicateOnConditionalAccessIsIR009) {
+  KernelDef k = skeleton();
+  k.streams[0].conditional = true;
+  // Predicate register 4 is never defined -- SIMD clusters cannot evaluate
+  // the condition.
+  k.body[0] = {Opcode::kReadCond, /*dst=*/0, -1, -1, /*c=*/4, /*stream=*/0, 1};
+  const Diagnostics d = analysis::verify_kernel(k);
+  const Diagnostic* g = expect_diag(d, "IR009");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kError);
+  EXPECT_EQ(g->loc.str(), "malformed:body[0]");
+}
+
+TEST(VerifyIr, DoubleBroadcastOfOneStreamIsIR010) {
+  KernelDef k = skeleton();
+  k.body[0].op = Opcode::kReadBcast;
+  k.body.insert(k.body.begin() + 1,
+                Instr{Opcode::kReadBcast, /*dst=*/1, -1, -1, -1,
+                      /*stream=*/0, 1});
+  const Diagnostics d = analysis::verify_kernel(k);
+  const Diagnostic* g = expect_diag(d, "IR010");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kError);
+}
+
+TEST(VerifyIr, NonPositiveStreamCountIsIR011) {
+  KernelDef k = skeleton();
+  k.body[0].count = 0;
+  const Diagnostics d = analysis::verify_kernel(k);
+  const Diagnostic* g = expect_diag(d, "IR011");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kError);
+}
+
+TEST(VerifyIr, DeadWriteIsIR012Warning) {
+  KernelDef k = skeleton();
+  // Register 2 is computed but feeds nothing.
+  k.body.insert(k.body.begin() + 1,
+                Instr{Opcode::kAdd, /*dst=*/2, /*a=*/0, /*b=*/0});
+  const Diagnostics d = analysis::verify_kernel(k);
+  const Diagnostic* g = expect_diag(d, "IR012");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kWarning);
+  EXPECT_EQ(d.errors(), 0);  // lint only -- pre-flight must not throw
+  EXPECT_NO_THROW(analysis::require_valid_kernel(k));
+}
+
+TEST(VerifyIr, UnusedStreamDeclIsIR013Warning) {
+  KernelDef k = skeleton();
+  k.streams.push_back({"ghost", StreamDir::kIn, 1, false});
+  const Diagnostics d = analysis::verify_kernel(k);
+  const Diagnostic* g = expect_diag(d, "IR013");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kWarning);
+  EXPECT_EQ(g->loc.index, -1);  // about the unit, not an instruction
+}
+
+TEST(VerifyIr, NonPositiveBlockLenIsIR014) {
+  KernelDef k = skeleton();
+  k.block_len = 0;
+  const Diagnostics d = analysis::verify_kernel(k);
+  const Diagnostic* g = expect_diag(d, "IR014");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kError);
+}
+
+TEST(VerifyIr, LrfPressureBeyondCapacityIsIR015) {
+  KernelDef k = skeleton();
+  analysis::VerifyOptions opts;
+  opts.lrf_words = 4;  // force IR015 by keeping 6+ registers live at once
+  for (int r = 1; r <= 6; ++r) {
+    k.body.insert(k.body.begin() + 1,
+                  Instr{Opcode::kAdd, /*dst=*/r, /*a=*/0, /*b=*/0});
+  }
+  Instr sum{Opcode::kAdd, /*dst=*/7, /*a=*/1, /*b=*/2};
+  k.body.insert(k.body.end() - 1, sum);
+  for (int r = 3; r <= 6; ++r) {
+    k.body.insert(k.body.end() - 1,
+                  Instr{Opcode::kAdd, /*dst=*/7, /*a=*/7, /*b=*/r});
+  }
+  k.body.back().a = 7;  // write out the sum
+  const Diagnostics d = analysis::verify_kernel(k, opts);
+  const Diagnostic* g = expect_diag(d, "IR015");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kWarning);
+  EXPECT_NE(d.find("IR016"), nullptr);  // pressure report always present
+}
+
+// ---------------------------------------------------------------------------
+// Stream-program checker golden cases.
+// ---------------------------------------------------------------------------
+
+/// Copy kernel over 1-word records, slot 0 -> slot 1.
+KernelDef copy_kernel() { return skeleton(); }
+
+mem::MemOpDesc strided(mem::MemOpKind kind, std::uint64_t base,
+                       std::int64_t n_records, int record_words = 1) {
+  mem::MemOpDesc d;
+  d.kind = kind;
+  d.base = base;
+  d.n_records = n_records;
+  d.record_words = record_words;
+  return d;
+}
+
+TEST(CheckStream, ReadOfNeverProducedSlotIsSP002) {
+  const KernelDef k = copy_kernel();
+  sim::StreamProgram prog;
+  const sim::StreamId s_in = prog.new_stream(64);
+  const sim::StreamId s_out = prog.new_stream(64);
+  prog.kernel(&k, {s_in, s_out}, /*rounds=*/1);  // nothing loaded s_in
+  analysis::StreamCheckOptions opts;
+  opts.program_name = "orphan_read";
+  opts.n_clusters = 1;
+  const Diagnostics d = analysis::check_stream_program(prog, opts);
+  const Diagnostic* g = expect_diag(d, "SP002");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kError);
+  EXPECT_EQ(g->loc.unit, "orphan_read");
+  EXPECT_EQ(g->loc.index, 0);
+  EXPECT_THROW(analysis::require_valid_stream_program(prog, opts),
+               CheckFailure);
+}
+
+TEST(CheckStream, SlotOutOfRangeIsSP001) {
+  sim::StreamProgram prog;
+  prog.new_stream(16);
+  prog.load(strided(mem::MemOpKind::kLoadStrided, 0, 8), /*dst=*/5);
+  const Diagnostics d = analysis::check_stream_program(prog);
+  const Diagnostic* g = expect_diag(d, "SP001");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kError);
+}
+
+TEST(CheckStream, TransferBeyondSlotCapacityIsSP007) {
+  sim::StreamProgram prog;
+  const sim::StreamId s = prog.new_stream(4);
+  prog.load(strided(mem::MemOpKind::kLoadStrided, 0, 8), s);  // 8 words into 4
+  const Diagnostics d = analysis::check_stream_program(prog);
+  const Diagnostic* g = expect_diag(d, "SP007");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kError);
+}
+
+TEST(CheckStream, TransferBeyondMemoryExtentIsSP008) {
+  sim::StreamProgram prog;
+  const sim::StreamId s = prog.new_stream(64);
+  prog.load(strided(mem::MemOpKind::kLoadStrided, /*base=*/90, 8), s);
+  analysis::StreamCheckOptions opts;
+  opts.memory_words = 64;
+  const Diagnostics d = analysis::check_stream_program(prog, opts);
+  const Diagnostic* g = expect_diag(d, "SP008");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kError);
+}
+
+TEST(CheckStream, DuplicateRecordInOnePlainScatterIsSP010) {
+  sim::StreamProgram prog;
+  const sim::StreamId s = prog.new_stream(16);
+  prog.load(strided(mem::MemOpKind::kLoadStrided, 0, 4), s);
+  mem::MemOpDesc scatter = strided(mem::MemOpKind::kStoreScatter, 100, 4);
+  scatter.indices = {0, 1, 1, 3};  // record 1 stored twice: lost update
+  prog.store(scatter, s);
+  const Diagnostics d = analysis::check_stream_program(prog);
+  const Diagnostic* g = expect_diag(d, "SP010");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kError);
+}
+
+TEST(CheckStream, IndexStreamLengthMismatchIsSP009) {
+  sim::StreamProgram prog;
+  const sim::StreamId s = prog.new_stream(16);
+  mem::MemOpDesc gather = strided(mem::MemOpKind::kLoadGather, 0, 4);
+  gather.indices = {0, 1};  // 2 indices for 4 records
+  prog.load(gather, s);
+  const Diagnostics d = analysis::check_stream_program(prog);
+  const Diagnostic* g = expect_diag(d, "SP009");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kError);
+}
+
+TEST(CheckStream, ConcurrentOverlappingPlainStoresAreSP011) {
+  // Two store chains with no dependence path between them target the same
+  // words: the controller may issue them concurrently in either order.
+  sim::StreamProgram prog;
+  const sim::StreamId a = prog.new_stream(16);
+  const sim::StreamId b = prog.new_stream(16);
+  prog.load(strided(mem::MemOpKind::kLoadStrided, 0, 8), a);
+  prog.load(strided(mem::MemOpKind::kLoadStrided, 16, 8), b);
+  prog.store(strided(mem::MemOpKind::kStoreStrided, 100, 8), a);
+  prog.store(strided(mem::MemOpKind::kStoreStrided, 104, 8), b);  // overlaps
+  const Diagnostics d = analysis::check_stream_program(prog);
+  const Diagnostic* g = expect_diag(d, "SP011");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kError);
+  // The message names the concrete colliding word address (first overlap
+  // at word 104).
+  EXPECT_NE(g->message.find("104"), std::string::npos) << g->message;
+}
+
+TEST(CheckStream, ConcurrentScatterAddsAreExemptFromSP011) {
+  // Same shape as above but both stores combine in the scatter-add units:
+  // the paper's Section 4 guarantee makes the collision safe.
+  sim::StreamProgram prog;
+  const sim::StreamId a = prog.new_stream(16);
+  const sim::StreamId b = prog.new_stream(16);
+  prog.load(strided(mem::MemOpKind::kLoadStrided, 0, 8), a);
+  prog.load(strided(mem::MemOpKind::kLoadStrided, 16, 8), b);
+  mem::MemOpDesc sa = strided(mem::MemOpKind::kScatterAdd, 100, 8);
+  sa.indices = {0, 1, 2, 3, 4, 5, 6, 7};
+  mem::MemOpDesc sb = strided(mem::MemOpKind::kScatterAdd, 104, 8);
+  sb.indices = {0, 1, 2, 3, 4, 5, 6, 7};
+  prog.store(sa, a);
+  prog.store(sb, b);
+  const Diagnostics d = analysis::check_stream_program(prog);
+  EXPECT_EQ(d.find("SP011"), nullptr) << d.format();
+  EXPECT_EQ(d.errors(), 0) << d.format();
+}
+
+TEST(CheckStream, ConcurrentReadWriteOverlapIsSP012) {
+  sim::StreamProgram prog;
+  const sim::StreamId a = prog.new_stream(16);
+  const sim::StreamId b = prog.new_stream(16);
+  prog.load(strided(mem::MemOpKind::kLoadStrided, 0, 8), a);
+  prog.load(strided(mem::MemOpKind::kLoadStrided, 100, 8), b);  // reads 100..
+  prog.store(strided(mem::MemOpKind::kStoreStrided, 100, 8), a);  // writes 100..
+  const Diagnostics d = analysis::check_stream_program(prog);
+  const Diagnostic* g = expect_diag(d, "SP012");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kError);
+}
+
+// ---------------------------------------------------------------------------
+// Scatter-assignment race detection (blocking schemes).
+// ---------------------------------------------------------------------------
+
+analysis::ScatterAssignment hazardous_assignment(bool combining) {
+  analysis::ScatterAssignment a;
+  a.name = "hazard";
+  a.n_rows = 9;  // rows 0..7 + trash row 8
+  a.trash_row = 8;
+  a.combining = combining;
+  a.base = 1000;
+  a.record_words = 9;
+  a.block_rows = {
+      {0, 1, 2, 3},
+      {4, 5, 5, 6},  // lanes 1 and 2 collide on row 5
+      {7, 8, 8, 8},  // trash-row padding: never a collision
+  };
+  return a;
+}
+
+TEST(CheckScatter, CollisionWithoutCombiningIsSP013NamingBlockAndAddress) {
+  const Diagnostics d =
+      analysis::check_scatter_assignment(hazardous_assignment(false));
+  const Diagnostic* g = expect_diag(d, "SP013");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kError);
+  EXPECT_EQ(g->loc.index, 1);  // the colliding block
+  // Concrete colliding pair: block, both lanes, row, word address
+  // (base 1000 + row 5 * 9 words = 1045).
+  EXPECT_NE(g->message.find("block 1"), std::string::npos) << g->message;
+  EXPECT_NE(g->message.find("lanes 1 and 2"), std::string::npos) << g->message;
+  EXPECT_NE(g->message.find("1045"), std::string::npos) << g->message;
+}
+
+TEST(CheckScatter, CollisionUnderCombiningIsSP014Note) {
+  const Diagnostics d =
+      analysis::check_scatter_assignment(hazardous_assignment(true));
+  EXPECT_EQ(d.find("SP013"), nullptr) << d.format();
+  EXPECT_EQ(d.errors(), 0) << d.format();
+  const Diagnostic* g = expect_diag(d, "SP014");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kNote);
+}
+
+TEST(CheckScatter, RowOutOfRangeIsSP016) {
+  analysis::ScatterAssignment a = hazardous_assignment(true);
+  a.block_rows[0][0] = 42;  // beyond n_rows
+  const Diagnostics d = analysis::check_scatter_assignment(a);
+  const Diagnostic* g = expect_diag(d, "SP016");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kError);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: everything the repo ships is lint-clean.
+// ---------------------------------------------------------------------------
+
+TEST(Property, EveryBuiltinKernelVariantIsLintClean) {
+  const md::WaterModel& model = md::spc();
+  std::vector<KernelDef> defs;
+  for (core::Variant v :
+       {core::Variant::kExpanded, core::Variant::kFixed,
+        core::Variant::kVariable, core::Variant::kDuplicated}) {
+    defs.push_back(core::build_water_kernel(v, model));
+  }
+  defs.push_back(core::build_expanded_energy_kernel(model));
+  for (const md::WaterModel* m : {&md::spc(), &md::tip5p(), &md::ppc()}) {
+    defs.push_back(core::build_multisite_kernel(*m));
+  }
+  defs.push_back(core::build_blocked_kernel(model, 1.0, 64));
+  for (const KernelDef& def : defs) {
+    const Diagnostics d = analysis::verify_kernel(def);
+    EXPECT_EQ(d.errors(), 0) << def.name << ":\n" << d.format();
+    EXPECT_EQ(d.warnings(), 0) << def.name << ":\n" << d.format();
+  }
+}
+
+TEST(Property, EveryVariantStreamProgramIsLintClean) {
+  core::ExperimentSetup setup;
+  setup.n_molecules = 48;
+  const core::Problem problem = core::Problem::make(setup);
+  const sim::MachineConfig cfg = sim::MachineConfig::merrimac();
+  for (core::Variant v :
+       {core::Variant::kExpanded, core::Variant::kFixed,
+        core::Variant::kVariable, core::Variant::kDuplicated}) {
+    core::LayoutOptions lopts;
+    lopts.n_clusters = cfg.n_clusters;
+    lopts.srf_words = cfg.srf_words;
+    const core::VariantLayout layout =
+        core::build_layout(v, problem.system, problem.half_list, lopts);
+    const KernelDef kdef =
+        core::build_water_kernel(v, problem.system.model());
+    mem::GlobalMemory memory;
+    const core::ProblemImage image =
+        core::upload_system(memory, problem.system);
+    const sim::StreamProgram program =
+        core::build_program(memory, image, layout, kdef);
+    analysis::StreamCheckOptions opts;
+    opts.program_name = core::variant_name(v);
+    opts.n_clusters = cfg.n_clusters;
+    opts.srf_words = cfg.srf_words;
+    opts.memory_words = memory.size();
+    const Diagnostics d = analysis::check_stream_program(program, opts);
+    EXPECT_EQ(d.errors(), 0) << core::variant_name(v) << ":\n" << d.format();
+    EXPECT_EQ(d.warnings(), 0) << core::variant_name(v) << ":\n" << d.format();
+  }
+}
+
+TEST(Property, EveryBuiltinBlockingSchemeIsCollisionFree) {
+  core::ExperimentSetup setup;
+  setup.n_molecules = 48;
+  const core::Problem problem = core::Problem::make(setup);
+  for (int cells : core::builtin_blocking_cells()) {
+    const core::BlockingScheme scheme =
+        core::build_blocking_scheme(problem.system, cells);
+    const Diagnostics d =
+        analysis::check_scatter_assignment(scheme.to_scatter_assignment());
+    EXPECT_EQ(d.errors(), 0) << scheme.name << ":\n" << d.format();
+    EXPECT_EQ(d.warnings(), 0) << scheme.name << ":\n" << d.format();
+  }
+}
+
+}  // namespace
+}  // namespace smd
