@@ -13,6 +13,11 @@
 //       assumption of an offline estimate;
 //   (c) the paper's regime -- memory time ~2.5x kernel time -- which
 //       recovers the paper's interior minimum at a small cluster size.
+//
+// Flags (smdtune drives these too):
+//   --sizes a,b,c | lo:hi:step   normalized cluster sizes to evaluate
+//                                (default 0.6:4.2:0.3)
+//   --molecules N                water-box size (default 900)
 #include <cstdio>
 
 #include "bench/bench_io.h"
@@ -24,9 +29,20 @@ using namespace smd;
 
 namespace {
 
-obs::Json regime_json(const core::BlockingModel& model) {
+std::vector<core::BlockingPoint> eval_sizes(const core::BlockingModel& model,
+                                            const std::vector<double>& sizes) {
+  std::vector<core::BlockingPoint> pts;
+  pts.reserve(sizes.size());
+  for (const double x : sizes) pts.push_back(model.at(x));
+  return pts;
+}
+
+obs::Json regime_json(const core::BlockingModel& model,
+                      const std::vector<double>& sizes) {
   obs::Json pts = obs::Json::array();
-  for (const auto& p : model.sweep(0.6, 4.2, 13)) pts.push_back(core::to_json(p));
+  for (const auto& p : eval_sizes(model, sizes)) {
+    pts.push_back(core::to_json(p));
+  }
   obs::Json j = obs::Json::object();
   j.set("kernel_cycles", model.params().variable_kernel_cycles)
       .set("memory_cycles", model.params().variable_memory_cycles)
@@ -35,7 +51,8 @@ obs::Json regime_json(const core::BlockingModel& model) {
   return j;
 }
 
-void show(const char* title, const core::BlockingModel& model) {
+void show(const char* title, const core::BlockingModel& model,
+          const std::vector<double>& sizes) {
   std::printf("%s\n", title);
   std::printf("  calibration: kernel %.0f cycles, memory %.0f cycles (M/K = %.2f)\n",
               model.params().variable_kernel_cycles,
@@ -43,7 +60,7 @@ void show(const char* title, const core::BlockingModel& model) {
               model.params().variable_memory_cycles /
                   model.params().variable_kernel_cycles);
   const auto min = model.minimum();
-  for (const auto& p : model.sweep(0.6, 4.2, 13)) {
+  for (const auto& p : eval_sizes(model, sizes)) {
     const int bar = static_cast<int>(p.time_rel * 25 + 0.5);
     std::printf("  x=%4.1f (%5.1f mol)  kernel %5.2f  memory %5.2f  time %5.2f |%s\n",
                 p.size, p.molecules, p.kernel_rel, p.memory_rel, p.time_rel,
@@ -58,7 +75,21 @@ void show(const char* title, const core::BlockingModel& model) {
 
 int main(int argc, char** argv) {
   benchio::JsonOut jout(argc, argv, "bench_fig11_12_blocking");
-  const core::Problem problem = core::Problem::make({});
+
+  std::vector<double> sizes;
+  const std::string sizes_flag = benchio::flag_value(argc, argv, "sizes");
+  try {
+    sizes = sizes_flag.empty() ? benchio::parse_value_list("0.6:4.2:0.3")
+                               : benchio::parse_value_list(sizes_flag);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "--sizes: %s\n", e.what());
+    return 2;
+  }
+
+  core::ExperimentSetup setup;
+  const std::string mol_flag = benchio::flag_value(argc, argv, "molecules");
+  if (!mol_flag.empty()) setup.n_molecules = std::stoi(mol_flag);
+  const core::Problem problem = core::Problem::make(setup);
   const auto variable = core::run_variant(problem, core::Variant::kVariable);
 
   core::BlockingModelParams params;
@@ -76,7 +107,7 @@ int main(int argc, char** argv) {
 
   std::printf("== Figures 11-12: blocking-scheme estimate ==\n\n");
   show("(a) calibrated from the simulated run (cache-assisted gathers):",
-       core::BlockingModel(params));
+       core::BlockingModel(params), sizes);
 
   // (b) No stream cache: every gathered word pays DRAM random-access
   // bandwidth (~half of the 4.8 words/cycle peak).
@@ -84,22 +115,24 @@ int main(int argc, char** argv) {
   no_cache.variable_memory_cycles =
       static_cast<double>(variable.mem_refs) / 2.4;
   show("(b) gathers at DRAM random-access bandwidth (no cache):",
-       core::BlockingModel(no_cache));
+       core::BlockingModel(no_cache), sizes);
 
   // (c) The paper's regime: memory time well above kernel time.
   core::BlockingModelParams paper_regime = params;
   paper_regime.variable_memory_cycles = 2.5 * params.variable_kernel_cycles;
   show("(c) paper regime (memory-bound 2.5x):",
-       core::BlockingModel(paper_regime));
+       core::BlockingModel(paper_regime), sizes);
 
   std::printf(
       "Paper: a minimum below 1.0 at a small cluster size (a few molecules\n"
       "per cluster). Our simulated calibration is kernel-bound, so blocking\n"
       "only pays once gathers actually miss the stream cache -- regimes (b)\n"
       "and (c); (c) reproduces the paper's interior minimum.\n");
+  jout.root().set("n_molecules", problem.setup.n_molecules);
   jout.root().set("calibration", core::to_json(variable));
-  jout.root().set("as_simulated", regime_json(core::BlockingModel(params)));
-  jout.root().set("no_cache", regime_json(core::BlockingModel(no_cache)));
-  jout.root().set("paper_regime", regime_json(core::BlockingModel(paper_regime)));
+  jout.root().set("as_simulated", regime_json(core::BlockingModel(params), sizes));
+  jout.root().set("no_cache", regime_json(core::BlockingModel(no_cache), sizes));
+  jout.root().set("paper_regime",
+                  regime_json(core::BlockingModel(paper_regime), sizes));
   return 0;
 }

@@ -6,8 +6,10 @@
 #pragma once
 
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "src/obs/json.h"
 
@@ -20,6 +22,47 @@ inline std::string flag_value(int argc, char** argv, const std::string& name) {
     if (argv[i] == flag) return argv[i + 1];
   }
   return "";
+}
+
+/// Parse "a,b,c" and "lo:hi:step" (inclusive ends) value lists -- the same
+/// syntax smdtune sweep axes use, so humans and the tuner drive the bench
+/// binaries uniformly. Throws std::invalid_argument on malformed input.
+inline std::vector<double> parse_value_list(const std::string& spec) {
+  std::vector<double> out;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string token = spec.substr(start, end - start);
+    if (token.empty()) throw std::invalid_argument("empty value in '" + spec + "'");
+    const std::size_t c1 = token.find(':');
+    if (c1 == std::string::npos) {
+      out.push_back(std::stod(token));
+    } else {
+      const std::size_t c2 = token.find(':', c1 + 1);
+      if (c2 == std::string::npos) {
+        throw std::invalid_argument("bad range '" + token + "' (want lo:hi:step)");
+      }
+      const double lo = std::stod(token.substr(0, c1));
+      const double hi = std::stod(token.substr(c1 + 1, c2 - c1 - 1));
+      const double step = std::stod(token.substr(c2 + 1));
+      if (step <= 0.0 || hi < lo) {
+        throw std::invalid_argument("empty range '" + token + "'");
+      }
+      for (double v = lo; v <= hi + 1e-9 * step; v += step) out.push_back(v);
+    }
+    start = end + 1;
+  }
+  return out;
+}
+
+/// parse_value_list, rounded to int.
+inline std::vector<int> parse_int_list(const std::string& spec) {
+  std::vector<int> out;
+  for (const double v : parse_value_list(spec)) {
+    out.push_back(static_cast<int>(v + (v >= 0 ? 0.5 : -0.5)));
+  }
+  return out;
 }
 
 class JsonOut {

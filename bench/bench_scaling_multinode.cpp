@@ -2,6 +2,12 @@
 // to larger configurations of the system": strong scaling of StreamMD
 // across Merrimac nodes on the folded-Clos network, calibrated with the
 // simulated single-node `variable` run.
+//
+// Flags (smdtune drives these too):
+//   --nodes a,b,c | lo:hi:step   node counts to sweep (default 1,2,4,...,64)
+//   --molecules N                calibration water-box size (default 900)
+//   --large-molecules N          the scaled-up system (default 115200, 128x)
+#include <cstdint>
 #include <cstdio>
 
 #include "bench/bench_io.h"
@@ -13,9 +19,10 @@ using namespace smd;
 
 namespace {
 
-obs::Json sweep_json(const net::ScalingModel& model) {
+obs::Json sweep_json(const net::ScalingModel& model,
+                     const std::vector<std::int64_t>& nodes) {
   obs::Json rows = obs::Json::array();
-  for (const auto& p : model.sweep({1, 2, 4, 8, 16, 32, 64})) {
+  for (const auto& p : model.sweep(nodes)) {
     obs::Json j = obs::Json::object();
     j.set("nodes", p.nodes)
         .set("compute_s", p.compute_s)
@@ -30,10 +37,11 @@ obs::Json sweep_json(const net::ScalingModel& model) {
   return rows;
 }
 
-void sweep(const char* title, const net::ScalingModel& model) {
+void sweep(const char* title, const net::ScalingModel& model,
+           const std::vector<std::int64_t>& nodes) {
   util::Table t({"nodes", "compute (us)", "local mem (us)", "network (us)",
                  "step (us)", "speedup", "efficiency", "halo frac"});
-  for (const auto& p : model.sweep({1, 2, 4, 8, 16, 32, 64})) {
+  for (const auto& p : model.sweep(nodes)) {
     t.add_row({std::to_string(p.nodes), util::Table::num(p.compute_s * 1e6, 1),
                util::Table::num(p.local_mem_s * 1e6, 1),
                util::Table::num(p.network_s * 1e6, 1),
@@ -49,7 +57,23 @@ void sweep(const char* title, const net::ScalingModel& model) {
 
 int main(int argc, char** argv) {
   benchio::JsonOut jout(argc, argv, "bench_scaling_multinode");
-  const core::Problem problem = core::Problem::make({});
+
+  std::vector<std::int64_t> nodes = {1, 2, 4, 8, 16, 32, 64};
+  const std::string nodes_flag = benchio::flag_value(argc, argv, "nodes");
+  if (!nodes_flag.empty()) {
+    try {
+      nodes.clear();
+      for (const int n : benchio::parse_int_list(nodes_flag)) nodes.push_back(n);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--nodes: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  core::ExperimentSetup setup;
+  const std::string mol_flag = benchio::flag_value(argc, argv, "molecules");
+  if (!mol_flag.empty()) setup.n_molecules = std::stoi(mol_flag);
+  const core::Problem problem = core::Problem::make(setup);
   const auto variable = core::run_variant(problem, core::Variant::kVariable);
 
   net::ScalingWorkload w;
@@ -62,12 +86,18 @@ int main(int argc, char** argv) {
                              static_cast<double>(variable.n_real_interactions);
 
   std::printf("== Multi-node strong scaling (calibrated from `variable`) ==\n\n");
-  sweep("paper dataset: 900 molecules", net::ScalingModel(w, net::NetworkConfig{}));
+  char title[96];
+  std::snprintf(title, sizeof title, "paper dataset: %lld molecules",
+                static_cast<long long>(w.n_molecules));
+  sweep(title, net::ScalingModel(w, net::NetworkConfig{}), nodes);
 
   net::ScalingWorkload big = w;
-  big.n_molecules = 115200;  // 128x larger box
-  sweep("128x larger system: 115,200 molecules",
-        net::ScalingModel(big, net::NetworkConfig{}));
+  big.n_molecules = 115200;  // 128x larger box by default
+  const std::string big_flag = benchio::flag_value(argc, argv, "large-molecules");
+  if (!big_flag.empty()) big.n_molecules = std::stoll(big_flag);
+  std::snprintf(title, sizeof title, "scaled-up system: %lld molecules",
+                static_cast<long long>(big.n_molecules));
+  sweep(title, net::ScalingModel(big, net::NetworkConfig{}), nodes);
 
   obs::Json workload = obs::Json::object();
   workload.set("n_molecules", w.n_molecules)
@@ -77,8 +107,8 @@ int main(int argc, char** argv) {
       .set("cycles_per_interaction", w.cycles_per_interaction);
   jout.root().set("workload", std::move(workload));
   jout.root().set("paper_dataset",
-                  sweep_json(net::ScalingModel(w, net::NetworkConfig{})));
+                  sweep_json(net::ScalingModel(w, net::NetworkConfig{}), nodes));
   jout.root().set("large_system",
-                  sweep_json(net::ScalingModel(big, net::NetworkConfig{})));
+                  sweep_json(net::ScalingModel(big, net::NetworkConfig{}), nodes));
   return 0;
 }

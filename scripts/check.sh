@@ -6,10 +6,14 @@
 #   scripts/check.sh            # both configurations
 #   scripts/check.sh default    # just the default build
 #   scripts/check.sh asan-ubsan # just the sanitizer build
+#   scripts/check.sh tsan       # ThreadSanitizer (tuner pool + obs registry)
 #
 # Each preset also runs `smdcheck --all` (the static verifier over every
 # built-in kernel, stream program and blocking scheme — see DESIGN.md
-# "Static checking"). clang-tidy runs once over src/ when available.
+# "Static checking") and `smdtune --paper --jobs 4` (the parallel
+# design-space search reproducing the paper's tuned points — see
+# EXPERIMENTS.md "Design-space exploration"). clang-tidy runs once over
+# src/ when available.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,7 +22,7 @@ if [ ${#presets[@]} -eq 0 ]; then
   presets=(default asan-ubsan)
 fi
 
-declare -A build_dir=([default]=build [asan-ubsan]=build-asan-ubsan)
+declare -A build_dir=([default]=build [asan-ubsan]=build-asan-ubsan [tsan]=build-tsan)
 
 for preset in "${presets[@]}"; do
   echo "==== preset: ${preset} ===="
@@ -27,6 +31,8 @@ for preset in "${presets[@]}"; do
   ctest --preset "${preset}" -j "$(nproc)"
   echo "==== smdcheck --all (${preset}) ===="
   "${build_dir[${preset}]}/examples/smdcheck" --all
+  echo "==== smdtune --paper --jobs 4 (${preset}) ===="
+  "${build_dir[${preset}]}/examples/smdtune" --paper --jobs 4 --molecules 256
 done
 
 if command -v clang-tidy >/dev/null 2>&1; then

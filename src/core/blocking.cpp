@@ -201,4 +201,48 @@ BlockingScheme build_blocking_scheme(const md::WaterSystem& sys,
 
 std::vector<int> builtin_blocking_cells() { return {2, 3, 4}; }
 
+AnalyticEstimate estimate_variant_run(const md::WaterSystem& sys,
+                                      const md::NeighborList& half_list,
+                                      Variant variant,
+                                      const LayoutOptions& lopts,
+                                      const kernel::ScheduleOptions& sched,
+                                      double mem_words_per_cycle,
+                                      int kernel_startup_cycles) {
+  if (mem_words_per_cycle <= 0.0) {
+    throw std::runtime_error("mem_words_per_cycle must be positive");
+  }
+  const VariantLayout layout = build_layout(variant, sys, half_list, lopts);
+  const kernel::KernelDef def =
+      build_water_kernel(variant, sys.model(), lopts.fixed_list_length);
+  const kernel::Schedule schedule = kernel::schedule_body(def, sched);
+
+  AnalyticEstimate e;
+  e.kernel_cycles = schedule.cycles_per_iteration() *
+                    static_cast<double>(layout.rounds) *
+                    static_cast<double>(def.block_len);
+  e.mem_words = static_cast<double>(layout.memory_words());
+  e.memory_cycles = e.mem_words / mem_words_per_cycle;
+  e.time_cycles = static_cast<double>(kernel_startup_cycles) *
+                      static_cast<double>(layout.strips.size()) +
+                  std::max(e.kernel_cycles, e.memory_cycles);
+  return e;
+}
+
+std::vector<bool> prune_dominated(const std::vector<AnalyticEstimate>& est,
+                                  double slack) {
+  std::vector<bool> keep(est.size(), true);
+  if (slack <= 1.0) return keep;
+  for (std::size_t i = 0; i < est.size(); ++i) {
+    for (std::size_t j = 0; j < est.size(); ++j) {
+      if (i == j) continue;
+      if (est[j].time_cycles * slack <= est[i].time_cycles &&
+          est[j].mem_words * slack <= est[i].mem_words) {
+        keep[i] = false;
+        break;
+      }
+    }
+  }
+  return keep;
+}
+
 }  // namespace smd::core

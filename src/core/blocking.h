@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/analysis/check_stream.h"
+#include "src/core/layouts.h"
 #include "src/kernel/schedule.h"
 #include "src/md/neighborlist.h"
 #include "src/md/system.h"
@@ -140,5 +141,38 @@ BlockingScheme build_blocking_scheme(const md::WaterSystem& sys,
 /// Cell granularities smdcheck lints by default (the Figure 11/12 sweep's
 /// implementable range for small boxes).
 std::vector<int> builtin_blocking_cells();
+
+// ---------------------------------------------------------------------------
+// Analytic pre-pass for the tuner (tune::Runner): estimate a candidate's
+// kernel and memory time from the layout's traffic census and a real
+// kernel schedule -- everything but the cycle-driven controller/memsys
+// loop, which is ~1000x more expensive -- then drop candidates another
+// candidate dominates on both axes before paying for full simulation.
+// ---------------------------------------------------------------------------
+
+struct AnalyticEstimate {
+  double kernel_cycles = 0.0;  ///< scheduled kernel time for all rounds
+  double memory_cycles = 0.0;  ///< layout words / peak words-per-cycle
+  double time_cycles = 0.0;    ///< startup + max(kernel, memory) (Figure 5)
+  double mem_words = 0.0;      ///< words moved SRF <-> memory
+};
+
+/// Estimate one variant run without simulating it: builds the layout,
+/// schedules the kernel (memoized machinery in sim::KernelCostCache is
+/// not needed -- scheduling here is per-call but cheap), and assumes
+/// perfectly overlapped transfers at `mem_words_per_cycle`.
+AnalyticEstimate estimate_variant_run(const md::WaterSystem& sys,
+                                      const md::NeighborList& half_list,
+                                      Variant variant,
+                                      const LayoutOptions& lopts,
+                                      const kernel::ScheduleOptions& sched,
+                                      double mem_words_per_cycle,
+                                      int kernel_startup_cycles = 100);
+
+/// keep[i] is false iff some estimate j dominates i: time_cycles and
+/// mem_words both at least `slack` (> 1) times better. With slack <= 1
+/// everything is kept.
+std::vector<bool> prune_dominated(const std::vector<AnalyticEstimate>& est,
+                                  double slack);
 
 }  // namespace smd::core

@@ -79,6 +79,7 @@ VariantResult run_variant(const Problem& problem, Variant variant,
   LayoutOptions lopts;
   lopts.n_clusters = cfg.n_clusters;
   lopts.fixed_list_length = problem.setup.fixed_list_length;
+  lopts.strip_rounds = problem.setup.strip_rounds;
   lopts.srf_words = cfg.srf_words;
   const VariantLayout layout =
       build_layout(variant, problem.system, problem.half_list, lopts);
@@ -110,6 +111,7 @@ EnergyRunResult run_expanded_with_energy(const Problem& problem,
   LayoutOptions lopts;
   lopts.n_clusters = cfg.n_clusters;
   lopts.fixed_list_length = problem.setup.fixed_list_length;
+  lopts.strip_rounds = problem.setup.strip_rounds;
   lopts.srf_words = cfg.srf_words;
   const VariantLayout layout = build_layout(Variant::kExpanded, problem.system,
                                             problem.half_list, lopts);

@@ -21,6 +21,9 @@ struct ExperimentSetup {
   double cutoff = 1.0;      ///< nm
   std::uint64_t seed = 42;
   int fixed_list_length = kFixedListLength;
+  /// Strip length in kernel rounds (LayoutOptions::strip_rounds); 0 picks
+  /// automatically so three strips' buffers fit in the SRF. A tuning axis.
+  std::int64_t strip_rounds = 0;
 };
 
 /// Everything measured from one variant run (Figures 8-9, Table 4).

@@ -3,13 +3,21 @@
 // Any module can bump a counter by name without threading a stats struct
 // through its API; the bench binaries and streammd_cli snapshot the global
 // registry into their JSON records so every run carries the full counter
-// census alongside the headline metrics. The simulator is single-threaded
-// by design, so the registry is deliberately unsynchronized.
+// census alongside the headline metrics.
+//
+// Threading model: every method is internally synchronized, so concurrent
+// simulations (the tune::Runner worker pool) may write the same registry
+// safely. For isolation -- per-worker counters that don't mix until the
+// worker finishes -- a thread can redirect its own view of global() to a
+// private registry with ScopedRegistryRedirect and merge() the shard back
+// when done. merge() is commutative (counters and ".seconds" gauges add,
+// other gauges take the max), so shard merge order doesn't change totals.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "src/obs/json.h"
@@ -18,20 +26,28 @@ namespace smd::obs {
 
 class CounterRegistry {
  public:
+  CounterRegistry() = default;
+  CounterRegistry(const CounterRegistry&) = delete;
+  CounterRegistry& operator=(const CounterRegistry&) = delete;
+
   /// Monotonic event counts ("sim.kernel_launches").
   void add(const std::string& name, std::int64_t delta = 1) {
+    const std::lock_guard<std::mutex> lock(mu_);
     counters_[name] += delta;
   }
   std::int64_t counter(const std::string& name) const {
+    const std::lock_guard<std::mutex> lock(mu_);
     const auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
   }
 
   /// Last-value measurements ("sim.srf_peak_words").
   void set_gauge(const std::string& name, double value) {
+    const std::lock_guard<std::mutex> lock(mu_);
     gauges_[name] = value;
   }
   double gauge(const std::string& name) const {
+    const std::lock_guard<std::mutex> lock(mu_);
     const auto it = gauges_.find(name);
     return it == gauges_.end() ? 0.0 : it->second;
   }
@@ -39,25 +55,56 @@ class CounterRegistry {
   /// Timer accumulation: `<name>.seconds` gauge grows by `s`,
   /// `<name>.calls` counter by one. Used by ScopedTimer.
   void add_seconds(const std::string& name, double s) {
+    const std::lock_guard<std::mutex> lock(mu_);
     gauges_[name + ".seconds"] += s;
-    add(name + ".calls");
+    counters_[name + ".calls"] += 1;
   }
 
-  bool empty() const { return counters_.empty() && gauges_.empty(); }
+  bool empty() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return counters_.empty() && gauges_.empty();
+  }
   void clear() {
+    const std::lock_guard<std::mutex> lock(mu_);
     counters_.clear();
     gauges_.clear();
   }
 
+  /// Fold another registry (typically a per-worker shard) into this one:
+  /// counters add; ".seconds" gauges add (they are accumulated time);
+  /// other gauges keep the maximum, so the result is independent of the
+  /// order shards are merged in.
+  void merge(const CounterRegistry& other);
+
   /// {"counters": {...}, "gauges": {...}} with keys in sorted order.
   Json to_json() const;
 
-  /// The process-wide registry the simulator's hooks write to.
+  /// The registry the simulator's hooks write to: the calling thread's
+  /// ScopedRegistryRedirect target if one is active, else the process-wide
+  /// registry (process()).
   static CounterRegistry& global();
+  /// The process-wide registry, ignoring any thread-local redirect.
+  static CounterRegistry& process();
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, std::int64_t> counters_;
   std::map<std::string, double> gauges_;
+};
+
+/// While alive, CounterRegistry::global() on *this thread* resolves to the
+/// given registry instead of the process-wide one. Nests (the previous
+/// redirect is restored on destruction). The redirect is thread-local: it
+/// never affects other threads.
+class ScopedRegistryRedirect {
+ public:
+  explicit ScopedRegistryRedirect(CounterRegistry& target);
+  ScopedRegistryRedirect(const ScopedRegistryRedirect&) = delete;
+  ScopedRegistryRedirect& operator=(const ScopedRegistryRedirect&) = delete;
+  ~ScopedRegistryRedirect();
+
+ private:
+  CounterRegistry* prev_;
 };
 
 /// Accumulates wall-clock time spent in a scope into a registry timer.

@@ -16,6 +16,7 @@
 //   Stream cache size                       1 MB
 #pragma once
 
+#include "src/analysis/diag.h"
 #include "src/kernel/schedule.h"
 #include "src/mem/memsys.h"
 
@@ -60,6 +61,15 @@ struct MachineConfig {
   double peak_gflops() const {
     return n_clusters * fpus_per_cluster * 2.0 * clock_ghz;
   }
+
+  /// Structured sanity checks over the configuration (check IDs MC001..;
+  /// catalogue in DESIGN.md "Static checking"): non-positive cluster/FPU/
+  /// bandwidth counts, an SRF too small to double-buffer strips, and so
+  /// on. Controller::run calls this before executing a program and throws
+  /// analysis::CheckFailure on errors, so nonsense overrides (e.g. from a
+  /// tune sweep) fail at the front door instead of deep inside the memory
+  /// model. Tuner/CLI callers can validate ahead of time.
+  analysis::Diagnostics validate() const;
 
   /// The paper's single-node Merrimac configuration.
   static MachineConfig merrimac() {

@@ -56,6 +56,14 @@ Controller::Controller(const MachineConfig& cfg, mem::GlobalMemory* memory)
 RunStats Controller::run(const StreamProgram& program) {
   obs::ScopedTimer run_timer(obs::CounterRegistry::global(),
                              "sim.controller_run");
+  // Machine-config pre-flight: reject nonsense overrides (non-positive
+  // clusters/bandwidth, SRF below double-buffering needs) with structured
+  // diagnostics before they fail deep inside the memory model.
+  {
+    analysis::Diagnostics diags = cfg_.validate();
+    diags.count_into_registry("sim.machine");
+    if (diags.errors() > 0) throw analysis::CheckFailure(std::move(diags));
+  }
   // Static pre-flight: slot lifetimes, capacities, address ranges and
   // concurrent-update races, fatal on error (warnings are counted into the
   // obs registry under analysis.stream).

@@ -1,0 +1,93 @@
+#include "src/tune/cache.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "src/tune/runner.h"
+
+namespace smd::tune {
+
+std::string hash_hex(std::uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+namespace {
+
+std::uint64_t parse_hash_hex(const std::string& s) {
+  if (s.size() != 16) throw std::runtime_error("bad cache key '" + s + "'");
+  return std::stoull(s, nullptr, 16);
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string path, std::string salt)
+    : path_(std::move(path)), salt_(std::move(salt)) {}
+
+std::size_t ResultCache::load() {
+  entries_.clear();
+  dirty_ = false;
+  if (!enabled()) return 0;
+  std::ifstream in(path_);
+  if (!in.good()) return 0;  // missing file: empty cache
+  obs::Json doc;
+  try {
+    doc = obs::load_file(path_);
+  } catch (const std::exception&) {
+    return 0;  // unreadable/corrupt: start over (save() rewrites it)
+  }
+  const obs::Json* version = doc.find("schema_version");
+  const obs::Json* salt = doc.find("salt");
+  const obs::Json* entries = doc.find("entries");
+  if (version == nullptr || version->as_int() != 1 || salt == nullptr ||
+      salt->as_string() != salt_ || entries == nullptr ||
+      !entries->is_object()) {
+    return 0;  // model version changed: every entry is stale
+  }
+  for (const auto& [key, value] : entries->items()) {
+    Entry e;
+    e.config = value.at("config");
+    e.metrics = value.at("metrics");
+    entries_.emplace(parse_hash_hex(key), std::move(e));
+  }
+  return entries_.size();
+}
+
+bool ResultCache::lookup(std::uint64_t hash, Metrics* out) const {
+  const auto it = entries_.find(hash);
+  if (it == entries_.end()) return false;
+  *out = Metrics::from_json(it->second.metrics);
+  return true;
+}
+
+void ResultCache::insert(std::uint64_t hash, const Candidate& cand,
+                         const Metrics& m) {
+  if (!enabled()) return;
+  Entry e;
+  e.config = cand.to_json();
+  e.metrics = m.to_json();
+  entries_[hash] = std::move(e);
+  dirty_ = true;
+}
+
+void ResultCache::save() {
+  if (!enabled() || !dirty_) return;
+  obs::Json entries = obs::Json::object();
+  for (const auto& [hash, entry] : entries_) {
+    obs::Json e = obs::Json::object();
+    e.set("config", entry.config);
+    e.set("metrics", entry.metrics);
+    entries.set(hash_hex(hash), std::move(e));
+  }
+  obs::Json doc = obs::Json::object();
+  doc.set("schema_version", 1);
+  doc.set("salt", salt_);
+  doc.set("entries", std::move(entries));
+  obs::write_file(doc, path_);
+  dirty_ = false;
+}
+
+}  // namespace smd::tune

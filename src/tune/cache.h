@@ -1,0 +1,76 @@
+// Persistent result cache: JSON-on-disk memoization of candidate metrics.
+//
+// Sweeps are incremental: a re-run of any sweep whose candidates were
+// already evaluated performs zero simulations (the golden test asserts
+// bit-identical metrics and a 100% hit rate). Entries are keyed by the
+// candidate's 64-bit config hash, which mixes in a model-version salt --
+// bump tune::kModelVersion whenever the simulator's cost model changes and
+// every stale entry silently misses.
+//
+// File format (schema_version 1, entries sorted by hash so the file is
+// byte-stable and diffable):
+//   {"schema_version": 1, "salt": "...",
+//    "entries": {"<16-hex-digit hash>": {"config": {...}, "metrics": {...}},
+//                ...}}
+//
+// The cache itself is not thread-safe: the Runner performs lookups before
+// spawning workers and inserts after joining them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/obs/json.h"
+#include "src/tune/space.h"
+
+namespace smd::tune {
+
+struct Metrics;  // runner.h
+
+/// Version salt mixed into every config hash. Bump when simulator timing
+/// or layout changes invalidate previously cached metrics.
+inline constexpr const char* kModelVersion = "smd-tune-v1";
+
+class ResultCache {
+ public:
+  /// An empty path disables the cache (all operations no-op).
+  explicit ResultCache(std::string path, std::string salt = kModelVersion);
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+  const std::string& salt() const { return salt_; }
+
+  /// Load path() if it exists. A missing file is an empty cache; a file
+  /// with a different salt or schema version is discarded wholesale.
+  /// Returns the number of entries loaded.
+  std::size_t load();
+
+  /// Copy the cached metrics for `hash` into *out; false on miss.
+  bool lookup(std::uint64_t hash, Metrics* out) const;
+
+  void insert(std::uint64_t hash, const Candidate& cand, const Metrics& m);
+
+  /// Write the cache (pretty JSON, sorted by hash). No-op when disabled
+  /// or when nothing was inserted since load(). Throws on I/O failure.
+  void save();
+
+  std::size_t size() const { return entries_.size(); }
+  bool dirty() const { return dirty_; }
+
+ private:
+  struct Entry {
+    obs::Json config;
+    obs::Json metrics;
+  };
+
+  std::string path_;
+  std::string salt_;
+  std::map<std::uint64_t, Entry> entries_;
+  bool dirty_ = false;
+};
+
+/// "0123456789abcdef" rendering used for cache keys.
+std::string hash_hex(std::uint64_t h);
+
+}  // namespace smd::tune

@@ -8,6 +8,8 @@
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "src/obs/json.h"
 #include "src/obs/registry.h"
@@ -160,6 +162,59 @@ TEST(Registry, ScopedTimerAccumulates) {
 TEST(Registry, GlobalIsAProcessSingleton) {
   CounterRegistry::global().add("obs_test.probe", 5);
   EXPECT_GE(CounterRegistry::global().counter("obs_test.probe"), 5);
+}
+
+// The registry is written from parallel tuner workers; run this suite under
+// the `tsan` preset to prove the locking (ROADMAP: thread-safe telemetry).
+TEST(Registry, ConcurrentAddsAreLossFree) {
+  CounterRegistry reg;
+  constexpr int kThreads = 8, kAdds = 2000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&reg] {
+      for (int i = 0; i < kAdds; ++i) {
+        reg.add("shared.hits");
+        reg.set_gauge("shared.peak", static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(reg.counter("shared.hits"), kThreads * kAdds);
+}
+
+TEST(Registry, RedirectShardsThenMergeMatchesSerial) {
+  // Workers write through CounterRegistry::global() while a
+  // ScopedRegistryRedirect points it at a per-thread shard; merging the
+  // shards afterwards must equal one thread doing all the work, regardless
+  // of merge order (merge is commutative: counters and .seconds gauges add,
+  // other gauges take the max).
+  constexpr int kThreads = 4, kAdds = 500;
+  std::vector<CounterRegistry> shards(kThreads);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&shards, t] {
+      ScopedRegistryRedirect redirect(shards[static_cast<std::size_t>(t)]);
+      for (int i = 0; i < kAdds; ++i) {
+        CounterRegistry::global().add("worker.ops");
+      }
+      CounterRegistry::global().set_gauge("worker.rank", static_cast<double>(t));
+      CounterRegistry::global().set_gauge("worker.seconds", 0.25);
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  CounterRegistry forward, backward;
+  for (int t = 0; t < kThreads; ++t) {
+    forward.merge(shards[static_cast<std::size_t>(t)]);
+    backward.merge(shards[static_cast<std::size_t>(kThreads - 1 - t)]);
+  }
+  EXPECT_EQ(forward.counter("worker.ops"), kThreads * kAdds);
+  EXPECT_DOUBLE_EQ(forward.gauge("worker.rank"), kThreads - 1.0);  // max
+  EXPECT_DOUBLE_EQ(forward.gauge("worker.seconds"), 0.25 * kThreads);  // sum
+  EXPECT_EQ(forward.to_json().dump(), backward.to_json().dump());
+
+  // The redirect was scoped: none of it leaked into the process registry.
+  EXPECT_EQ(CounterRegistry::process().counter("worker.ops"), 0);
 }
 
 TEST(TraceSink, ChromeJsonParsesBack) {

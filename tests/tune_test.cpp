@@ -1,0 +1,272 @@
+// Tests for the autotuning subsystem (src/tune/): config-space
+// enumeration and hashing, the persistent result cache, the parallel
+// runner, and the golden properties the paper pins down -- the variant
+// ordering of Figure 9 and the blocking minimum of Figure 12 must fall
+// out of the search, a cached re-run must be bit-identical with zero
+// simulations, and the result list must not depend on --jobs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/core/blocking.h"
+#include "src/core/run.h"
+#include "src/obs/registry.h"
+#include "src/tune/cache.h"
+#include "src/tune/pareto.h"
+#include "src/tune/runner.h"
+#include "src/tune/space.h"
+
+namespace smd::tune {
+namespace {
+
+// Simulated runs dominate this suite's cost; build each problem size once.
+const core::Problem& problem_with(int n_molecules) {
+  static std::map<int, core::Problem> cache;
+  auto it = cache.find(n_molecules);
+  if (it == cache.end()) {
+    core::ExperimentSetup setup;
+    setup.n_molecules = n_molecules;
+    it = cache.emplace(n_molecules, core::Problem::make(setup)).first;
+  }
+  return it->second;
+}
+
+std::string results_fingerprint(const std::vector<EvalResult>& results) {
+  std::string s;
+  for (const auto& r : results) s += to_json(r).dump() + "\n";
+  return s;
+}
+
+TEST(Space, ParseEnumerateCartesian) {
+  const ConfigSpace space = ConfigSpace::parse("variant=fixed,variable;L=4:8:4");
+  EXPECT_EQ(space.size(), 4);
+  const std::vector<Candidate> cands = space.enumerate();
+  ASSERT_EQ(cands.size(), 4u);
+  std::set<std::string> keys;
+  for (const auto& c : cands) {
+    keys.insert(c.key());
+    EXPECT_TRUE(c.variant == core::Variant::kFixed ||
+                c.variant == core::Variant::kVariable);
+    EXPECT_TRUE(c.fixed_list_length == 4 || c.fixed_list_length == 8);
+    // Axes absent from the space keep the base candidate's value.
+    EXPECT_EQ(c.n_clusters, 16);
+  }
+  EXPECT_EQ(keys.size(), 4u) << "cartesian product produced duplicates";
+}
+
+TEST(Space, ParseRejectsUnknownAxisAndBadValue) {
+  EXPECT_THROW(ConfigSpace::parse("bogus=1"), std::invalid_argument);
+  EXPECT_THROW(ConfigSpace::parse("variant=quantum"), std::invalid_argument);
+  EXPECT_FALSE(axis_names().empty());
+}
+
+TEST(Space, HashIsStableAndSaltSensitive) {
+  const Candidate a, b;
+  EXPECT_EQ(config_hash(a, kModelVersion), config_hash(b, kModelVersion));
+  Candidate c = a;
+  c.variant = core::Variant::kFixed;
+  EXPECT_NE(config_hash(a, kModelVersion), config_hash(c, kModelVersion));
+  // Bumping the model version must miss every old entry.
+  EXPECT_NE(config_hash(a, "smd-tune-v1"), config_hash(a, "smd-tune-v2"));
+  EXPECT_EQ(hash_hex(0xabcULL), "0000000000000abc");
+}
+
+TEST(Space, CandidateJsonRoundTrip) {
+  Candidate c;
+  c.variant = core::Variant::kExpanded;
+  c.fixed_list_length = 12;
+  c.blocking_cells = 3;
+  c.sdr_policy = sim::SdrPolicy::kConservative;
+  c.n_clusters = 8;
+  c.srf_kb = 512;
+  c.dram_gbps = 19.2;
+  const Candidate back = Candidate::from_json(c.to_json());
+  EXPECT_EQ(back.key(), c.key());
+  EXPECT_EQ(config_hash(back), config_hash(c));
+}
+
+TEST(Space, MachineOverridesMaterializeAndValidate) {
+  Candidate c;
+  c.n_clusters = 8;
+  c.srf_kb = 512;
+  const sim::MachineConfig cfg = c.machine();
+  EXPECT_EQ(cfg.n_clusters, 8);
+  EXPECT_EQ(cfg.srf_words, 512 * 128);
+  EXPECT_EQ(cfg.validate().errors(), 0u);
+
+  Candidate bad = c;
+  bad.n_clusters = 0;
+  EXPECT_GT(bad.machine().validate().errors(), 0u);
+  EXPECT_THROW(evaluate(problem_with(64), bad), analysis::CheckFailure);
+}
+
+TEST(Runner, AnalyticEstimateAndPruning) {
+  const auto est = estimate(problem_with(64), Candidate{});
+  EXPECT_GT(est.time_cycles, 0.0);
+  EXPECT_GT(est.mem_words, 0.0);
+
+  // b is 2x better than a on both axes: pruned at slack 1.5, kept at 3.
+  std::vector<core::AnalyticEstimate> pts(2);
+  pts[0].time_cycles = 2000.0;
+  pts[0].mem_words = 2000.0;
+  pts[1].time_cycles = 1000.0;
+  pts[1].mem_words = 1000.0;
+  const auto keep15 = core::prune_dominated(pts, 1.5);
+  EXPECT_FALSE(keep15[0]);
+  EXPECT_TRUE(keep15[1]);
+  const auto keep3 = core::prune_dominated(pts, 3.0);
+  EXPECT_TRUE(keep3[0] && keep3[1]);
+  const auto keep_off = core::prune_dominated(pts, 0.0);
+  EXPECT_TRUE(keep_off[0] && keep_off[1]);
+}
+
+// Figure 9's conclusion must fall out of the search: on the Table 1
+// machine the tuner ranks variable < fixed < expanded by run time.
+TEST(Golden, VariantOrderingReproduced) {
+  const ConfigSpace space =
+      ConfigSpace::parse("variant=expanded,fixed,variable");
+  RunnerOptions opts;
+  opts.jobs = 4;
+  Runner runner(problem_with(256), opts);
+  const std::vector<EvalResult> results = runner.run(space.enumerate());
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) ASSERT_TRUE(r.ok()) << r.error;
+
+  double time_of[4] = {};
+  for (const auto& r : results) {
+    EXPECT_EQ(r.metrics.source, "sim");
+    time_of[static_cast<int>(r.cand.variant)] = r.metrics.time_ms;
+  }
+  const double expanded = time_of[static_cast<int>(core::Variant::kExpanded)];
+  const double fixed = time_of[static_cast<int>(core::Variant::kFixed)];
+  const double variable = time_of[static_cast<int>(core::Variant::kVariable)];
+  EXPECT_LT(variable, fixed);
+  EXPECT_LT(fixed, expanded);
+
+  // The report layer agrees: best overall is `variable`, and it is on the
+  // Pareto front.
+  const std::size_t best = best_index(results);
+  ASSERT_LT(best, results.size());
+  EXPECT_EQ(results[best].cand.variant, core::Variant::kVariable);
+  const auto front = pareto_front(results);
+  EXPECT_NE(std::find(front.begin(), front.end(), best), front.end());
+}
+
+// Figure 12's conclusion in the paper's memory-bound regime: an interior
+// run-time minimum below 1.0x `variable` at a few molecules per cluster.
+TEST(Golden, BlockingMinimumReproduced) {
+  core::BlockingModelParams params;
+  params.variable_kernel_cycles = 1.0e6;
+  params.variable_memory_cycles = 2.5e6;  // the paper's regime
+  const core::BlockingPoint min = core::BlockingModel(params).minimum();
+  EXPECT_LT(min.time_rel, 1.0);
+  EXPECT_GT(min.size, 0.4);
+  EXPECT_LT(min.size, 6.0);
+  EXPECT_GE(min.molecules, 1.0);
+  EXPECT_LE(min.molecules, 64.0);
+}
+
+// A sweep re-run against a warm cache performs zero simulations and
+// returns bit-identical results; the result list is independent of the
+// worker count. (Counters are read as deltas of the process registry:
+// worker shards merge there.)
+TEST(Golden, CacheRerunBitIdenticalAndJobsInvariant) {
+  const std::string path = testing::TempDir() + "/tune_test_cache.json";
+  std::remove(path.c_str());
+  const ConfigSpace space =
+      ConfigSpace::parse("variant=fixed,variable;sdr=conservative,transfer");
+  const std::vector<Candidate> cands = space.enumerate();
+  ASSERT_EQ(cands.size(), 4u);
+  const core::Problem& problem = problem_with(128);
+  auto& reg = obs::CounterRegistry::process();
+
+  RunnerOptions opts;
+  opts.jobs = 1;
+  opts.cache_path = path;
+  const std::int64_t evaluated0 = reg.counter("tune.evaluated");
+  const std::vector<EvalResult> cold = Runner(problem, opts).run(cands);
+  for (const auto& r : cold) ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(reg.counter("tune.evaluated") - evaluated0, 4);
+
+  // Warm re-run with a different worker count: 100% hits, 0 simulations.
+  opts.jobs = 4;
+  const std::int64_t hits0 = reg.counter("tune.cache.hits");
+  const std::int64_t evaluated1 = reg.counter("tune.evaluated");
+  const std::vector<EvalResult> warm = Runner(problem, opts).run(cands);
+  EXPECT_EQ(reg.counter("tune.cache.hits") - hits0, 4);
+  EXPECT_EQ(reg.counter("tune.evaluated") - evaluated1, 0);
+  for (const auto& r : warm) EXPECT_TRUE(r.cached);
+
+  // Bit-identical metrics (the cached flag itself differs by design).
+  ASSERT_EQ(cold.size(), warm.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(cold[i].hash, warm[i].hash);
+    EXPECT_EQ(cold[i].metrics.to_json().dump(),
+              warm[i].metrics.to_json().dump());
+  }
+
+  // Fresh evaluation with jobs=4 (cache off) matches jobs=1 byte for byte.
+  RunnerOptions par;
+  par.jobs = 4;
+  const std::vector<EvalResult> jobs4 = Runner(problem, par).run(cands);
+  EXPECT_EQ(results_fingerprint(cold), results_fingerprint(jobs4));
+  std::remove(path.c_str());
+}
+
+TEST(Cache, SaltMismatchDiscardsAndCorruptFileIsEmpty) {
+  const std::string path = testing::TempDir() + "/tune_test_salt.json";
+  {
+    ResultCache cache(path, "salt-a");
+    cache.load();
+    Metrics m;
+    m.time_ms = 1.5;
+    m.source = "sim";
+    cache.insert(config_hash(Candidate{}, "salt-a"), Candidate{}, m);
+    cache.save();
+  }
+  {
+    ResultCache same(path, "salt-a");
+    EXPECT_EQ(same.load(), 1u);
+    ResultCache other(path, "salt-b");
+    EXPECT_EQ(other.load(), 0u);
+  }
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not json", f);
+    std::fclose(f);
+    ResultCache corrupt(path, "salt-a");
+    EXPECT_EQ(corrupt.load(), 0u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Pareto, FrontAndBestPerVariant) {
+  std::vector<EvalResult> rs(3);
+  rs[0].cand.variant = core::Variant::kExpanded;
+  rs[0].metrics = {
+      .time_ms = 2.0, .mem_words = 100, .srf_peak_words = 10, .source = "sim"};
+  rs[1].cand.variant = core::Variant::kVariable;
+  rs[1].metrics = {
+      .time_ms = 1.0, .mem_words = 50, .srf_peak_words = 10, .source = "sim"};
+  rs[2].cand.variant = core::Variant::kFixed;
+  rs[2].metrics = {
+      .time_ms = 1.5, .mem_words = 40, .srf_peak_words = 10, .source = "sim"};
+  const auto front = pareto_front(rs);
+  EXPECT_EQ(front, (std::vector<std::size_t>{1, 2}));  // 0 dominated by 1
+  EXPECT_EQ(best_index(rs), 1u);
+  const auto by_variant = best_per_variant(rs);
+  ASSERT_EQ(by_variant.size(), 3u);
+  EXPECT_EQ(by_variant[0], 1u);  // fastest first
+  const std::string table = format_results_table(rs, front);
+  EXPECT_NE(table.find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smd::tune
