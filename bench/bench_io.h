@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/schema.h"
 #include "src/obs/json.h"
 
 namespace smd::benchio {
@@ -69,7 +70,7 @@ class JsonOut {
  public:
   JsonOut(int argc, char** argv, std::string bench_name)
       : path_(flag_value(argc, argv, "json")), root_(obs::Json::object()) {
-    root_.set("schema_version", 1);
+    root_.set("schema_version", core::kBenchSchemaVersion);
     root_.set("bench", std::move(bench_name));
   }
   JsonOut(const JsonOut&) = delete;

@@ -1,0 +1,228 @@
+// smdprof: cycle-attribution profiler and benchmark-regression gate.
+//
+//   smdprof --explain   [--molecules N] [--json path]
+//   smdprof --roofline  [--molecules N] [--json path]
+//   smdprof --record-baseline path [--molecules N]
+//   smdprof --check-baseline path  [--molecules N] [--json path]
+//   smdprof --diff baseA baseB
+//
+// --explain decomposes every cycle of each variant run into the stall
+// taxonomy of src/prof/attribution.h (kernel-busy / overlap / exposed
+// memory / scatter-add serialization / SDR stall / schedule drain), prints
+// per-kernel slices and per-variant waste accounting, and acts as a golden
+// check: it exits non-zero if any taxonomy fails to sum exactly to the
+// run's total cycles or if the paper's run-time ordering
+// (variable < fixed < expanded, Figure 9) does not reproduce.
+//
+// --roofline places each variant against the machine's compute and DRAM
+// bandwidth roofs (Table 4 arithmetic intensities) and reports both the
+// model's predicted binding resource and the measured one.
+//
+// --record-baseline / --check-baseline / --diff drive the regression
+// harness of src/prof/baseline.h. The simulator is deterministic, so the
+// recorded metrics are byte-stable; --check-baseline re-runs the
+// experiment and exits non-zero if any metric worsened beyond its
+// tolerance. BENCH_baseline.json at the repo root is the committed
+// baseline that scripts/check.sh gates on.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_io.h"
+#include "src/core/run.h"
+#include "src/obs/json.h"
+#include "src/prof/attribution.h"
+#include "src/prof/baseline.h"
+#include "src/prof/roofline.h"
+
+using namespace smd;
+
+namespace {
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+struct Experiment {
+  core::ExperimentSetup setup;
+  core::Problem problem;
+  sim::MachineConfig cfg;
+  std::vector<core::VariantResult> results;
+};
+
+Experiment run_experiment(int n_molecules) {
+  core::ExperimentSetup setup;
+  setup.n_molecules = n_molecules;
+  std::printf("simulating %d molecules (all four variants)...\n", n_molecules);
+  Experiment e{setup, core::Problem::make(setup),
+               sim::MachineConfig::merrimac(), {}};
+  e.results = core::run_all_variants(e.problem, e.cfg);
+  return e;
+}
+
+const core::VariantResult* by_variant(const Experiment& e, core::Variant v) {
+  for (const auto& r : e.results) {
+    if (r.variant == v) return &r;
+  }
+  return nullptr;
+}
+
+int run_explain(const Experiment& e, benchio::JsonOut& json) {
+  int failures = 0;
+  obs::Json variants = obs::Json::array();
+  for (const auto& r : e.results) {
+    const prof::StallTaxonomy tax = prof::attribute_cycles(r.run);
+    const auto slices = prof::kernel_slices(r.run.timeline, r.run.cycles);
+    const prof::WasteAccounting waste = prof::waste_accounting(
+        r, e.problem.flops_per_interaction, e.setup.n_molecules);
+    std::printf("\n=== %s (%.3f ms, %llu cycles) ===\n", r.name.c_str(),
+                r.time_ms, static_cast<unsigned long long>(r.run.cycles));
+    std::fputs(prof::format_attribution(tax, slices, waste).c_str(), stdout);
+    if (!tax.exhaustive()) {
+      std::printf("FAIL: taxonomy sums to %llu of %llu cycles\n",
+                  static_cast<unsigned long long>(tax.sum()),
+                  static_cast<unsigned long long>(tax.total_cycles));
+      ++failures;
+    }
+    // The per-strip windows tile the run, so their taxonomies must re-add
+    // to the whole-run decomposition bucket by bucket.
+    prof::StallTaxonomy strip_sum;
+    const auto strips = prof::strip_attribution(r.run);
+    for (const auto& s : strips) strip_sum += s.taxonomy;
+    if (strip_sum.sum() != tax.sum() ||
+        strip_sum.total_cycles != tax.total_cycles) {
+      std::printf("FAIL: %zu strip windows do not re-add to the run total\n",
+                  strips.size());
+      ++failures;
+    }
+    std::printf("strips: %zu windows, largest drain %llu cycles\n",
+                strips.size(),
+                static_cast<unsigned long long>([&] {
+                  std::uint64_t worst = 0;
+                  for (const auto& s : strips) {
+                    if (s.taxonomy.schedule_drain > worst) {
+                      worst = s.taxonomy.schedule_drain;
+                    }
+                  }
+                  return worst;
+                }()));
+    obs::Json jv = obs::Json::object();
+    jv.set("variant", r.name);
+    jv.set("taxonomy", prof::to_json(tax));
+    jv.set("waste", prof::to_json(waste));
+    jv.set("n_strips", static_cast<std::int64_t>(strips.size()));
+    variants.push_back(std::move(jv));
+  }
+  json.root().set("explain", std::move(variants));
+
+  // Figure 9 ordering check on run time.
+  const auto* expanded = by_variant(e, core::Variant::kExpanded);
+  const auto* fixed = by_variant(e, core::Variant::kFixed);
+  const auto* variable = by_variant(e, core::Variant::kVariable);
+  if (expanded == nullptr || fixed == nullptr || variable == nullptr) {
+    std::printf("FAIL: missing variant results\n");
+    ++failures;
+  } else if (!(variable->time_ms < fixed->time_ms &&
+               fixed->time_ms < expanded->time_ms)) {
+    std::printf(
+        "FAIL: paper ordering variable < fixed < expanded not reproduced "
+        "(%.3f / %.3f / %.3f ms)\n",
+        variable->time_ms, fixed->time_ms, expanded->time_ms);
+    ++failures;
+  } else {
+    std::printf(
+        "\nordering OK: variable %.3f < fixed %.3f < expanded %.3f ms\n",
+        variable->time_ms, fixed->time_ms, expanded->time_ms);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int run_roofline(const Experiment& e, benchio::JsonOut& json) {
+  std::vector<prof::RooflinePoint> points;
+  for (const auto& r : e.results) {
+    points.push_back(prof::roofline_point(r, e.cfg));
+  }
+  std::fputs(prof::format_roofline_table(points).c_str(), stdout);
+  obs::Json arr = obs::Json::array();
+  for (const auto& p : points) arr.push_back(prof::to_json(p));
+  json.root().set("roofline", std::move(arr));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    benchio::JsonOut json(argc, argv, "smdprof");
+
+    const std::string diff = benchio::flag_value(argc, argv, "diff");
+    if (!diff.empty()) {
+      // --diff A B: A is the flag value, B the argument after it.
+      std::string other;
+      for (int i = 1; i + 2 < argc; ++i) {
+        if (std::strcmp(argv[i], "--diff") == 0) other = argv[i + 2];
+      }
+      if (other.empty()) {
+        std::fprintf(stderr, "usage: smdprof --diff baseA baseB\n");
+        return 2;
+      }
+      const prof::Baseline a = prof::Baseline::load(diff);
+      const prof::Baseline b = prof::Baseline::load(other);
+      const prof::CompareReport rep = prof::compare(a, b);
+      std::fputs(prof::format_compare(rep).c_str(), stdout);
+      return rep.ok() ? 0 : 1;
+    }
+
+    const int n_molecules =
+        [&] {
+          const std::string v = benchio::flag_value(argc, argv, "molecules");
+          return v.empty() ? 900 : std::stoi(v);
+        }();
+
+    const std::string record =
+        benchio::flag_value(argc, argv, "record-baseline");
+    const std::string check = benchio::flag_value(argc, argv, "check-baseline");
+    const bool explain = has_flag(argc, argv, "--explain");
+    const bool roofline = has_flag(argc, argv, "--roofline");
+    if (!explain && !roofline && record.empty() && check.empty()) {
+      std::fprintf(stderr,
+                   "usage: smdprof --explain | --roofline | "
+                   "--record-baseline path | --check-baseline path | "
+                   "--diff baseA baseB  [--molecules N] [--json path]\n");
+      return 2;
+    }
+
+    const Experiment e = run_experiment(n_molecules);
+    int status = 0;
+    if (explain) status |= run_explain(e, json);
+    if (roofline) status |= run_roofline(e, json);
+
+    if (!record.empty()) {
+      const prof::Baseline b = prof::Baseline::capture(e.results, e.setup, e.cfg);
+      b.write(record);
+      std::printf("baseline recorded to %s (%zu variants)\n", record.c_str(),
+                  b.variants.size());
+    }
+    if (!check.empty()) {
+      const prof::Baseline base = prof::Baseline::load(check);
+      const prof::Baseline cur =
+          prof::Baseline::capture(e.results, e.setup, e.cfg);
+      const prof::CompareReport rep = prof::compare(base, cur);
+      std::fputs(prof::format_compare(rep).c_str(), stdout);
+      obs::Json jr = obs::Json::object();
+      jr.set("ok", rep.ok());
+      jr.set("n_regressions",
+             static_cast<std::int64_t>(rep.regressions().size()));
+      json.root().set("baseline_check", std::move(jr));
+      if (!rep.ok()) status = 1;
+    }
+    return status;
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "smdprof: %s\n", ex.what());
+    return 2;
+  }
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Record (or refresh) the committed benchmark baseline. Run from the
+# repository root after an intentional performance change:
+#
+#   scripts/bench_baseline.sh              # writes BENCH_baseline.json
+#   scripts/bench_baseline.sh --check      # compare instead of record
+#
+# The simulator is deterministic, so the recorded metrics are byte-stable:
+# re-recording on an unchanged tree produces an identical file. Commit the
+# refreshed BENCH_baseline.json together with the change that moved the
+# numbers; scripts/check.sh and the `smdprof_baseline` ctest gate on it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_baseline.json
+BUILD=build
+
+if [ ! -x "${BUILD}/examples/smdprof" ]; then
+  cmake --preset default
+  cmake --build --preset default -j "$(nproc)" --target smdprof
+fi
+
+if [ "${1:-}" = "--check" ]; then
+  exec "${BUILD}/examples/smdprof" --check-baseline "${BASELINE}"
+fi
+
+"${BUILD}/examples/smdprof" --record-baseline "${BASELINE}"
+echo "refreshed ${BASELINE}; review the diff and commit it with your change"
+git --no-pager diff --stat -- "${BASELINE}" || true

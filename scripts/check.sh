@@ -33,6 +33,18 @@ for preset in "${presets[@]}"; do
   "${build_dir[${preset}]}/examples/smdcheck" --all
   echo "==== smdtune --paper --jobs 4 (${preset}) ===="
   "${build_dir[${preset}]}/examples/smdtune" --paper --jobs 4 --molecules 256
+  if [ "${preset}" = default ]; then
+    # Benchmark-regression gate (see EXPERIMENTS.md "Profiling and
+    # regression tracking"): on the first ever run record the baseline;
+    # afterwards fail if any committed metric worsened beyond tolerance.
+    if [ -f BENCH_baseline.json ]; then
+      echo "==== smdprof --check-baseline (${preset}) ===="
+      "${build_dir[${preset}]}/examples/smdprof" --check-baseline BENCH_baseline.json
+    else
+      echo "==== smdprof --record-baseline (first run) ===="
+      "${build_dir[${preset}]}/examples/smdprof" --record-baseline BENCH_baseline.json
+    fi
+  fi
 done
 
 if command -v clang-tidy >/dev/null 2>&1; then

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "src/core/schema.h"
 #include "src/obs/registry.h"
 #include "src/util/table.h"
 
@@ -314,7 +315,7 @@ obs::Json bench_record(const std::string& bench_name,
   obs::Json rs = obs::Json::array();
   for (const auto& r : results) rs.push_back(to_json(r));
   obs::Json j = obs::Json::object();
-  j.set("schema_version", 1)
+  j.set("schema_version", kBenchSchemaVersion)
       .set("bench", bench_name)
       .set("machine", to_json(cfg))
       .set("results", std::move(rs))

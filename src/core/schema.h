@@ -1,0 +1,23 @@
+// Schema versions of the repo's machine-readable artifacts.
+//
+// Every `--json` record (bench binaries, streammd_cli, smdcheck, smdtune,
+// smdprof) carries `schema_version` so downstream consumers -- above all
+// the prof::Baseline comparator -- can reject a layout they were not
+// written for instead of silently mis-reading renamed or re-scoped fields.
+//
+// History:
+//   1  original bench-record layout (telemetry PR)
+//   2  timelines gain the SDR-stall lane (n_intervals now counts stall
+//      runs and zero-length marker intervals; Chrome traces gain an
+//      "SDR stall" track), and records may embed smdprof sections
+#pragma once
+
+namespace smd::core {
+
+/// Version stamped into every bench/CLI JSON record. Bump whenever a field
+/// is renamed, removed, or changes meaning -- not for pure additions that
+/// keep existing fields intact... unless the addition changes how existing
+/// fields must be interpreted (as the stall lane did to n_intervals).
+inline constexpr int kBenchSchemaVersion = 2;
+
+}  // namespace smd::core

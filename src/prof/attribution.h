@@ -1,0 +1,118 @@
+// Cycle attribution: where did every cycle of a run go?
+//
+// The paper explains its performance results (Section 5) by decomposing
+// execution time into compute, exposed memory, and serialization effects
+// (the SDR allocation flaw of Figure 7, scatter-add drains). smdprof makes
+// that decomposition a first-class artifact: every cycle of a run is
+// assigned to exactly one bucket of a stall taxonomy, so the buckets sum
+// to the total cycle count by construction -- no "other" fudge term, no
+// double counting.
+//
+// Classification uses the controller-recorded Timeline. For each
+// elementary segment between lane-boundary events, with predicates
+//   k  = kernel lane busy
+//   m  = memory lane busy
+//   sa = a scatter-add drain active (memory-lane interval labelled
+//        "scatter-add ...")
+//   s  = SDR-stall lane busy (a memory op was ready but no SDR was free)
+// the first matching rule wins:
+//   1. k && m   -> overlap               (memory hidden under compute)
+//   2. m && sa  -> scatter_serialization (exposed memory that is a
+//                                         scatter-add drain)
+//   3. m        -> memory_exposed        (other exposed memory time)
+//   4. s        -> sdr_stall             (nothing running; blocked on SDRs)
+//   5. k        -> kernel_busy           (pure compute)
+//   6. else     -> schedule_drain        (dependence/startup bubbles)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/run.h"
+#include "src/obs/json.h"
+#include "src/sim/controller.h"
+#include "src/sim/trace.h"
+
+namespace smd::prof {
+
+/// Exhaustive, disjoint decomposition of a cycle window.
+struct StallTaxonomy {
+  std::uint64_t total_cycles = 0;
+  std::uint64_t kernel_busy = 0;
+  std::uint64_t overlap = 0;
+  std::uint64_t memory_exposed = 0;
+  std::uint64_t scatter_serialization = 0;
+  std::uint64_t sdr_stall = 0;
+  std::uint64_t schedule_drain = 0;
+
+  std::uint64_t sum() const {
+    return kernel_busy + overlap + memory_exposed + scatter_serialization +
+           sdr_stall + schedule_drain;
+  }
+  /// The defining invariant: every cycle lands in exactly one bucket.
+  bool exhaustive() const { return sum() == total_cycles; }
+
+  StallTaxonomy& operator+=(const StallTaxonomy& o);
+};
+
+/// Attribute the window [lo, hi) of a timeline. total_cycles == hi - lo.
+StallTaxonomy attribute_window(const sim::Timeline& tl, std::uint64_t lo,
+                               std::uint64_t hi);
+
+/// Attribute a whole run: attribute_window(stats.timeline, 0, stats.cycles).
+StallTaxonomy attribute_cycles(const sim::RunStats& stats);
+
+/// Kernel-lane busy cycles grouped by kernel label (one entry per distinct
+/// kernel), sorted by descending busy cycles.
+struct KernelSlice {
+  std::string label;           ///< trace label, e.g. "kernel interact"
+  int launches = 0;
+  std::uint64_t busy_cycles = 0;
+};
+std::vector<KernelSlice> kernel_slices(const sim::Timeline& tl,
+                                       std::uint64_t horizon);
+
+/// Per-strip attribution: the run window partitioned at kernel-launch
+/// starts (one strip per launch under the one-kernel-launch-per-strip
+/// software pipelining of Figure 5). Windows tile [0, total), so summing
+/// the per-strip taxonomies reproduces the whole-run taxonomy exactly.
+struct StripWindow {
+  int index = 0;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  StallTaxonomy taxonomy;
+};
+std::vector<StripWindow> strip_attribution(const sim::RunStats& stats);
+
+/// Per-variant waste accounting: work executed beyond what the solution
+/// strictly needs, in the coin each layout pays it in.
+///   * all variants: wasted flops = executed - useful (fixed pays dummy
+///     neighbors, duplicated computes each pair twice);
+///   * expanded: replication traffic -- position words stored per
+///     interaction record instead of once per molecule;
+///   * variable: conditional-stream overhead -- slots accessed but not
+///     transferred.
+struct WasteAccounting {
+  std::string variant;
+  std::int64_t executed_flops = 0;
+  double useful_flops = 0.0;
+  double wasted_flops = 0.0;
+  double wasted_flop_fraction = 0.0;    ///< wasted / executed
+  std::int64_t replication_words = 0;   ///< expanded only
+  std::int64_t cond_overhead_accesses = 0;  ///< variable only
+};
+WasteAccounting waste_accounting(const core::VariantResult& r,
+                                 double flops_per_interaction,
+                                 int n_molecules);
+
+obs::Json to_json(const StallTaxonomy& t);
+obs::Json to_json(const WasteAccounting& w);
+
+/// Human-readable one-run explanation: taxonomy table (cycles and % of
+/// total), per-kernel slices, waste lines. Used by `smdprof --explain`.
+std::string format_attribution(const StallTaxonomy& t,
+                               const std::vector<KernelSlice>& slices,
+                               const WasteAccounting& waste);
+
+}  // namespace smd::prof

@@ -1,0 +1,99 @@
+// Benchmark-regression baselines.
+//
+// The simulator is fully deterministic (fixed dataset seed, cycle-accurate
+// counts), so a baseline of cycle-derived metrics is byte-stable across
+// runs on an unchanged tree -- any delta is a real behaviour change, not
+// noise. `smdprof --record-baseline` captures one (BENCH_baseline.json,
+// committed at the repo root); `smdprof --check-baseline` re-runs the
+// experiment and exits nonzero if any metric worsened beyond its per-metric
+// tolerance. Improvements are reported but never fail the check, so the
+// gate only catches regressions; refresh the baseline when an intentional
+// improvement lands.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/run.h"
+#include "src/obs/json.h"
+#include "src/sim/config.h"
+
+namespace smd::prof {
+
+/// Baseline file layout version (independent of core::kBenchSchemaVersion,
+/// which the file also records for provenance).
+inline constexpr int kBaselineSchemaVersion = 1;
+
+/// How to judge one metric's drift.
+struct MetricPolicy {
+  bool lower_is_better = true;
+  double rel_tol = 0.05;    ///< allowed relative worsening
+  double abs_floor = 0.0;   ///< ignore absolute drifts at or below this
+};
+
+/// Tolerance policy for a metric name; unknown names get a conservative
+/// default (lower is better, 5%).
+MetricPolicy policy_for(const std::string& metric);
+
+struct BaselineMetric {
+  std::string name;
+  double value = 0.0;
+};
+
+struct VariantBaseline {
+  std::string variant;
+  std::vector<BaselineMetric> metrics;  ///< insertion-ordered
+};
+
+struct Baseline {
+  int schema_version = kBaselineSchemaVersion;
+  int bench_schema_version = 0;
+  int n_molecules = 0;
+  std::uint64_t seed = 0;
+  int fixed_list_length = 0;
+  std::string sdr_policy;
+  double peak_gflops = 0.0;
+  std::vector<VariantBaseline> variants;
+
+  /// Deterministic metric snapshot of a full run_all_variants() result.
+  static Baseline capture(const std::vector<core::VariantResult>& results,
+                          const core::ExperimentSetup& setup,
+                          const sim::MachineConfig& cfg);
+
+  obs::Json to_json() const;
+  /// Throws std::runtime_error on an unrecognized schema_version.
+  static Baseline from_json(const obs::Json& j);
+
+  void write(const std::string& path) const;
+  static Baseline load(const std::string& path);
+};
+
+/// One metric's drift between two baselines.
+struct MetricDelta {
+  std::string variant;
+  std::string metric;
+  double baseline = 0.0;
+  double current = 0.0;
+  double rel_change = 0.0;  ///< (current - baseline) / |baseline|
+  bool regression = false;
+  bool improvement = false;
+};
+
+struct CompareReport {
+  std::vector<MetricDelta> deltas;
+  std::vector<std::string> notes;  ///< setup mismatches, missing metrics
+  std::vector<MetricDelta> regressions() const;
+  std::vector<MetricDelta> improvements() const;
+  bool ok() const { return regressions().empty() && notes.empty(); }
+};
+
+/// Compare `current` against `base`. Setup mismatches (molecule count,
+/// seed, machine) and metrics present in the baseline but absent from the
+/// current capture are reported as notes and fail ok(); metrics new in
+/// `current` are ignored (they will enter the file on the next refresh).
+CompareReport compare(const Baseline& base, const Baseline& current);
+
+std::string format_compare(const CompareReport& report);
+
+}  // namespace smd::prof

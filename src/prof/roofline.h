@@ -1,0 +1,59 @@
+// Roofline placement of variant runs (paper Table 4 + Section 5.1).
+//
+// The paper argues each layout's performance from its arithmetic
+// intensity (Table 4, flops per word of memory traffic): at Merrimac's
+// 128 GFLOPS peak and 38.4 GB/s (4.8 Gwords/s) DRAM bandwidth, an AI of A
+// flops/word caps sustainable performance at A x 4.8 GFLOPS, so the
+// roofline model predicts which resource binds each layout. The measured
+// kernel-vs-memory busy-cycle split gives an independent verdict on which
+// resource actually bound the run -- smdprof reports both, the
+// sustained-vs-roofline fraction, and the paper's Figure 8 LRF fractions
+// for comparison.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/run.h"
+#include "src/obs/json.h"
+#include "src/sim/config.h"
+
+namespace smd::prof {
+
+/// "compute" when kernel-busy cycles dominate memory-busy cycles, else
+/// "memory" -- the measured binding resource of a run.
+const char* binding_verdict(std::uint64_t kernel_busy_cycles,
+                            std::uint64_t mem_busy_cycles);
+
+/// Figure 8's published LRF reference fractions per variant
+/// (expanded 0.89, fixed 0.93, variable 0.95, duplicated 0.96).
+double paper_lrf_fraction(core::Variant v);
+
+/// One variant's position against the machine's roofline.
+struct RooflinePoint {
+  std::string variant;
+  double ai_flops_per_word = 0.0;  ///< measured AI (paper Table 4 unit)
+  double ai_flops_per_byte = 0.0;  ///< same, per byte (8-byte words)
+  double peak_gflops = 0.0;        ///< compute roof
+  double dram_bw_gbps = 0.0;
+  double cache_bw_gbps = 0.0;
+  double dram_bound_gflops = 0.0;  ///< bandwidth roof at this AI
+  double roofline_gflops = 0.0;    ///< min(compute roof, bandwidth roof)
+  double sustained_gflops = 0.0;   ///< solution GFLOPS actually achieved
+  double fraction_of_roofline = 0.0;
+  std::string model_binding;       ///< what the roofline model predicts
+  std::string measured_binding;    ///< what the busy-cycle split says
+  double lrf_fraction = 0.0;       ///< measured
+  double paper_lrf = 0.0;          ///< published Figure 8 value
+};
+
+RooflinePoint roofline_point(const core::VariantResult& r,
+                             const sim::MachineConfig& cfg);
+
+obs::Json to_json(const RooflinePoint& p);
+
+/// Table over all variants: AI, roofs, sustained, bindings, LRF vs paper.
+std::string format_roofline_table(const std::vector<RooflinePoint>& points);
+
+}  // namespace smd::prof

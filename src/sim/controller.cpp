@@ -294,6 +294,12 @@ RunStats Controller::run(const StreamProgram& program) {
     }
   };
 
+  // SDR-stall runs become Lane::kStall intervals so the profiler can
+  // intersect them with lane occupancy; the closed-run invariant is
+  // busy_cycles(kStall) == sdr_stall_cycles.
+  bool stall_open = false;
+  std::uint64_t stall_start = 0;
+
   // ---- Main loop. --------------------------------------------------------
   while (remaining > 0) {
     // Issue everything that is ready this cycle.
@@ -314,7 +320,16 @@ RunStats Controller::run(const StreamProgram& program) {
         start_memop(i);
       }
     }
-    if (sdr_starved) ++stats.sdr_stall_cycles;
+    if (sdr_starved) {
+      ++stats.sdr_stall_cycles;
+      if (!stall_open) {
+        stall_open = true;
+        stall_start = now;
+      }
+    } else if (stall_open) {
+      stats.timeline.add(Lane::kStall, stall_start, now, "sdr-stall");
+      stall_open = false;
+    }
 
     memsys.tick();
     ++now;
@@ -356,6 +371,7 @@ RunStats Controller::run(const StreamProgram& program) {
     }
   }
 
+  if (stall_open) stats.timeline.add(Lane::kStall, stall_start, now, "sdr-stall");
   stats.cycles = now;
   stats.mem_stats = memsys.stats();
   stats.cache_stats = memsys.cache_stats();

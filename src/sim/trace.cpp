@@ -31,14 +31,17 @@ std::uint64_t coverage(const std::vector<Span>& spans, std::size_t& cursor,
 
 void Timeline::add(Lane lane, std::uint64_t start, std::uint64_t end,
                    std::string label, int track) {
-  if (end <= start) return;
+  if (end < start) return;
   intervals_.push_back({start, end, lane, std::move(label), track});
 }
 
 std::vector<Span> Timeline::merged(Lane lane, std::uint64_t horizon) const {
   std::vector<Span> spans;
   for (const auto& iv : intervals_) {
-    if (iv.lane != lane || iv.start >= horizon) continue;
+    // Zero-length intervals are markers: kept in intervals(), excluded from
+    // every occupancy quantity. Clipping an interval that crosses the
+    // horizon can also produce an empty span (start == horizon).
+    if (iv.lane != lane || iv.start >= horizon || iv.end <= iv.start) continue;
     spans.emplace_back(iv.start, std::min(iv.end, horizon));
   }
   std::sort(spans.begin(), spans.end());
@@ -100,9 +103,13 @@ std::string Timeline::ascii(std::uint64_t horizon,
 
 void Timeline::append_chrome_events(obs::TraceSink& sink, int pid,
                                     double clock_ghz) const {
+  // SDR-stall slices go on a single dedicated track well above any
+  // plausible SDR slot count, so they never collide with memory tracks.
+  constexpr int kStallTid = 999;
   sink.set_track_name(pid, 0, "clusters (kernel)");
   const double ns_per_cycle = clock_ghz > 0 ? 1.0 / clock_ghz : 1.0;
   std::vector<int> mem_tracks;
+  bool stall_track_named = false;
   for (const auto& iv : intervals_) {
     obs::TraceEvent ev;
     ev.name = iv.label;
@@ -114,6 +121,13 @@ void Timeline::append_chrome_events(obs::TraceSink& sink, int pid,
     if (iv.lane == Lane::kKernel) {
       ev.category = "kernel";
       ev.tid = 0;
+    } else if (iv.lane == Lane::kStall) {
+      ev.category = "stall";
+      ev.tid = kStallTid;
+      if (!stall_track_named) {
+        stall_track_named = true;
+        sink.set_track_name(pid, kStallTid, "SDR stall");
+      }
     } else {
       ev.category = "memory";
       ev.tid = 1 + iv.track;

@@ -21,7 +21,13 @@
 
 namespace smd::sim {
 
-enum class Lane : int { kKernel = 0, kMemory = 1 };
+/// kStall is a bookkeeping lane, not a hardware resource: the controller
+/// records one interval per run of cycles in which a memory op was ready
+/// to issue but no stream descriptor register was free. The profiler
+/// (src/prof) intersects it with the kernel/memory lanes to attribute
+/// cycles; busy_cycles(Lane::kStall, cycles) always equals the
+/// RunStats::sdr_stall_cycles counter.
+enum class Lane : int { kKernel = 0, kMemory = 1, kStall = 2 };
 
 struct Interval {
   std::uint64_t start;
@@ -33,6 +39,10 @@ struct Interval {
 
 class Timeline {
  public:
+  /// Record one interval. Zero-length intervals (start == end) are kept --
+  /// they carry labels into the Chrome export as instantaneous markers and
+  /// count toward intervals() -- but contribute nothing to any occupancy
+  /// quantity. Inverted intervals (end < start) are dropped.
   void add(Lane lane, std::uint64_t start, std::uint64_t end,
            std::string label, int track = 0);
 
@@ -54,7 +64,8 @@ class Timeline {
 
   /// Append one Chrome trace slice per interval to `sink` under process
   /// `pid`: tid 0 = the kernel lane ("clusters"), tid 1 + track = that
-  /// memory SDR slot. Cycles convert to ns at `clock_ghz`.
+  /// memory SDR slot, and a dedicated high tid = the SDR-stall lane.
+  /// Cycles convert to ns at `clock_ghz`.
   void append_chrome_events(obs::TraceSink& sink, int pid,
                             double clock_ghz = 1.0) const;
 

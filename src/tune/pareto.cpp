@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/obs/registry.h"
+#include "src/prof/roofline.h"
 #include "src/util/table.h"
 
 namespace smd::tune {
@@ -108,6 +109,12 @@ obs::Json to_json(const EvalResult& r) {
     j.set("error", r.error);
   } else {
     j.set("metrics", r.metrics.to_json());
+    // Which resource bound this candidate's run -- lets a sweep consumer
+    // separate "needs more compute" from "needs more bandwidth" points
+    // without re-running anything.
+    j.set("binding_resource",
+          prof::binding_verdict(r.metrics.kernel_busy_cycles,
+                                r.metrics.mem_busy_cycles));
   }
   return j;
 }

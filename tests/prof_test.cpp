@@ -1,0 +1,314 @@
+// Tests for the smdprof layers: stall-taxonomy attribution (the
+// sum-to-total invariant above all), roofline placement, and the
+// benchmark-regression baseline harness.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/core/run.h"
+#include "src/prof/attribution.h"
+#include "src/prof/baseline.h"
+#include "src/prof/roofline.h"
+#include "src/util/rng.h"
+
+namespace smd::prof {
+namespace {
+
+// ---- Attribution. ---------------------------------------------------------
+
+TEST(Attribution, EmptyWindowIsAllScheduleDrain) {
+  sim::Timeline tl;
+  const StallTaxonomy t = attribute_window(tl, 0, 100);
+  EXPECT_EQ(t.total_cycles, 100u);
+  EXPECT_EQ(t.schedule_drain, 100u);
+  EXPECT_TRUE(t.exhaustive());
+}
+
+TEST(Attribution, PriorityRulesClassifyHandBuiltTimeline) {
+  // [0,10) kernel only; [10,20) kernel+memory; [20,30) memory only;
+  // [30,40) memory labelled scatter-add; [40,50) SDR stall only;
+  // [50,60) nothing.
+  sim::Timeline tl;
+  tl.add(sim::Lane::kKernel, 0, 20, "kernel k");
+  tl.add(sim::Lane::kMemory, 10, 30, "load s0");
+  tl.add(sim::Lane::kMemory, 30, 40, "scatter-add s1", 1);
+  tl.add(sim::Lane::kStall, 40, 50, "sdr-stall");
+  const StallTaxonomy t = attribute_window(tl, 0, 60);
+  EXPECT_EQ(t.kernel_busy, 10u);
+  EXPECT_EQ(t.overlap, 10u);
+  EXPECT_EQ(t.memory_exposed, 10u);
+  EXPECT_EQ(t.scatter_serialization, 10u);
+  EXPECT_EQ(t.sdr_stall, 10u);
+  EXPECT_EQ(t.schedule_drain, 10u);
+  EXPECT_TRUE(t.exhaustive());
+}
+
+TEST(Attribution, OverlapOutranksScatterSerialization) {
+  // A scatter-add drain fully hidden under a kernel is overlap, not
+  // serialization: the drain cost the run nothing.
+  sim::Timeline tl;
+  tl.add(sim::Lane::kKernel, 0, 100, "kernel k");
+  tl.add(sim::Lane::kMemory, 20, 60, "scatter-add s0");
+  const StallTaxonomy t = attribute_window(tl, 0, 100);
+  EXPECT_EQ(t.overlap, 40u);
+  EXPECT_EQ(t.scatter_serialization, 0u);
+  EXPECT_EQ(t.kernel_busy, 60u);
+  EXPECT_TRUE(t.exhaustive());
+}
+
+TEST(Attribution, StallHiddenUnderMemoryCountsAsMemory) {
+  // An SDR stall while another transfer is draining is attributed to the
+  // memory bucket (rules 2-3 outrank rule 4): the machine was making
+  // memory progress, the stall was not the exposed cost.
+  sim::Timeline tl;
+  tl.add(sim::Lane::kMemory, 0, 50, "load s0");
+  tl.add(sim::Lane::kStall, 10, 70, "sdr-stall");
+  const StallTaxonomy t = attribute_window(tl, 0, 80);
+  EXPECT_EQ(t.memory_exposed, 50u);
+  EXPECT_EQ(t.sdr_stall, 20u);  // only the [50,70) exposed part
+  EXPECT_EQ(t.schedule_drain, 10u);
+  EXPECT_TRUE(t.exhaustive());
+}
+
+TEST(AttributionProperty, RandomSoupsAlwaysSumToTotal) {
+  util::Rng rng(0x9f0fu);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t horizon = 1 + rng.uniform_u64(400);
+    sim::Timeline tl;
+    const int n = static_cast<int>(rng.uniform_u64(30));
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t a = rng.uniform_u64(2 * horizon);
+      const std::uint64_t b = rng.uniform_u64(2 * horizon);
+      const std::uint64_t lane_pick = rng.uniform_u64(4);
+      const sim::Lane lane = lane_pick == 0   ? sim::Lane::kKernel
+                             : lane_pick == 1 ? sim::Lane::kStall
+                                              : sim::Lane::kMemory;
+      const char* label = lane == sim::Lane::kMemory && rng.uniform_u64(2)
+                              ? "scatter-add s0"
+                              : "load s0";
+      tl.add(lane, std::min(a, b), std::max(a, b), label);
+    }
+    const StallTaxonomy t = attribute_window(tl, 0, horizon);
+    EXPECT_EQ(t.total_cycles, horizon) << "trial " << trial;
+    EXPECT_TRUE(t.exhaustive())
+        << "trial " << trial << ": sum " << t.sum() << " != " << horizon;
+    // Cross-check two buckets against Timeline's own occupancy queries.
+    EXPECT_EQ(t.overlap, tl.overlap_cycles(horizon)) << "trial " << trial;
+    const std::uint64_t mem_total =
+        t.overlap + t.memory_exposed + t.scatter_serialization;
+    EXPECT_EQ(mem_total, tl.busy_cycles(sim::Lane::kMemory, horizon))
+        << "trial " << trial;
+  }
+}
+
+TEST(Attribution, StripWindowsTileTheRunExactly) {
+  sim::RunStats stats;
+  stats.cycles = 300;
+  stats.timeline.add(sim::Lane::kKernel, 50, 100, "kernel a");
+  stats.timeline.add(sim::Lane::kKernel, 150, 220, "kernel a");
+  stats.timeline.add(sim::Lane::kMemory, 0, 160, "load s0");
+  const auto strips = strip_attribution(stats);
+  ASSERT_EQ(strips.size(), 2u);
+  EXPECT_EQ(strips[0].lo, 0u);  // priming window joins the first strip
+  EXPECT_EQ(strips[0].hi, 150u);
+  EXPECT_EQ(strips[1].hi, 300u);
+  StallTaxonomy sum;
+  for (const auto& s : strips) sum += s.taxonomy;
+  EXPECT_EQ(sum.total_cycles, stats.cycles);
+  EXPECT_TRUE(sum.exhaustive());
+  const StallTaxonomy whole = attribute_cycles(stats);
+  EXPECT_EQ(sum.kernel_busy, whole.kernel_busy);
+  EXPECT_EQ(sum.overlap, whole.overlap);
+  EXPECT_EQ(sum.memory_exposed, whole.memory_exposed);
+  EXPECT_EQ(sum.schedule_drain, whole.schedule_drain);
+}
+
+TEST(Attribution, KernelSlicesGroupByLabel) {
+  sim::Timeline tl;
+  tl.add(sim::Lane::kKernel, 0, 10, "kernel a");
+  tl.add(sim::Lane::kKernel, 20, 40, "kernel b");
+  tl.add(sim::Lane::kKernel, 50, 55, "kernel a");
+  const auto slices = kernel_slices(tl, 100);
+  ASSERT_EQ(slices.size(), 2u);
+  EXPECT_EQ(slices[0].label, "kernel b");  // sorted by busy desc
+  EXPECT_EQ(slices[0].busy_cycles, 20u);
+  EXPECT_EQ(slices[1].launches, 2);
+  EXPECT_EQ(slices[1].busy_cycles, 15u);
+}
+
+// ---- Roofline. ------------------------------------------------------------
+
+TEST(Roofline, PaperLrfFractionsMatchFigure8) {
+  EXPECT_DOUBLE_EQ(paper_lrf_fraction(core::Variant::kExpanded), 0.89);
+  EXPECT_DOUBLE_EQ(paper_lrf_fraction(core::Variant::kFixed), 0.93);
+  EXPECT_DOUBLE_EQ(paper_lrf_fraction(core::Variant::kVariable), 0.95);
+  EXPECT_DOUBLE_EQ(paper_lrf_fraction(core::Variant::kDuplicated), 0.96);
+}
+
+TEST(Roofline, BindingVerdictFollowsBusySplit) {
+  EXPECT_STREQ(binding_verdict(100, 50), "compute");
+  EXPECT_STREQ(binding_verdict(50, 100), "memory");
+}
+
+TEST(Roofline, PointUsesMachinePeaksAndTable4Ai) {
+  core::VariantResult r;
+  r.variant = core::Variant::kFixed;
+  r.name = "fixed";
+  r.ai_measured = 9.3;  // Table 4
+  r.solution_gflops = 22.0;
+  r.lrf_fraction = 0.93;
+  r.run.kernel_busy_cycles = 600;
+  r.run.mem_busy_cycles = 500;
+  const RooflinePoint p =
+      roofline_point(r, sim::MachineConfig::merrimac());
+  EXPECT_DOUBLE_EQ(p.peak_gflops, 128.0);
+  EXPECT_NEAR(p.dram_bw_gbps, 38.4, 1e-9);
+  // 9.3 flops/word over 4.8 Gwords/s ~= 44.6 GFLOPS bandwidth roof.
+  EXPECT_NEAR(p.dram_bound_gflops, 9.3 / 8.0 * 38.4, 1e-9);
+  EXPECT_EQ(p.model_binding, "memory");
+  EXPECT_EQ(p.measured_binding, "compute");
+  EXPECT_NEAR(p.fraction_of_roofline, 22.0 / (9.3 / 8.0 * 38.4), 1e-12);
+}
+
+// ---- Baseline harness. ----------------------------------------------------
+
+core::VariantResult small_result(core::Variant v, double cycles) {
+  core::VariantResult r;
+  r.variant = v;
+  r.name = core::variant_name(v);
+  r.run.cycles = static_cast<std::uint64_t>(cycles);
+  r.run.kernel_busy_cycles = static_cast<std::uint64_t>(cycles * 0.6);
+  r.run.mem_busy_cycles = static_cast<std::uint64_t>(cycles * 0.5);
+  r.time_ms = cycles / 1e6;
+  r.solution_gflops = 20.0;
+  r.ai_measured = 9.0;
+  r.lrf_fraction = 0.93;
+  return r;
+}
+
+TEST(Baseline, RoundTripsThroughJson) {
+  const core::ExperimentSetup setup;
+  const sim::MachineConfig cfg = sim::MachineConfig::merrimac();
+  const Baseline b = Baseline::capture(
+      {small_result(core::Variant::kFixed, 1e5)}, setup, cfg);
+  const Baseline back = Baseline::from_json(obs::Json::parse(b.to_json().dump(2)));
+  EXPECT_EQ(back.schema_version, kBaselineSchemaVersion);
+  EXPECT_EQ(back.n_molecules, setup.n_molecules);
+  EXPECT_EQ(back.seed, setup.seed);
+  ASSERT_EQ(back.variants.size(), 1u);
+  EXPECT_EQ(back.variants[0].variant, "fixed");
+  EXPECT_EQ(back.variants[0].metrics.size(), b.variants[0].metrics.size());
+  // Ordered identically -- the file is diffable.
+  for (std::size_t i = 0; i < back.variants[0].metrics.size(); ++i) {
+    EXPECT_EQ(back.variants[0].metrics[i].name,
+              b.variants[0].metrics[i].name);
+  }
+}
+
+TEST(Baseline, RejectsUnknownSchemaVersion) {
+  const core::ExperimentSetup setup;
+  obs::Json j = Baseline::capture({}, setup, sim::MachineConfig::merrimac())
+                    .to_json();
+  j.set("schema_version", kBaselineSchemaVersion + 1);
+  EXPECT_THROW(Baseline::from_json(j), std::runtime_error);
+}
+
+TEST(Baseline, IdenticalCapturesCompareClean) {
+  const core::ExperimentSetup setup;
+  const sim::MachineConfig cfg = sim::MachineConfig::merrimac();
+  const auto results = {small_result(core::Variant::kFixed, 1e5),
+                        small_result(core::Variant::kVariable, 8e4)};
+  const Baseline a = Baseline::capture(results, setup, cfg);
+  const Baseline b = Baseline::capture(results, setup, cfg);
+  const CompareReport rep = compare(a, b);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_TRUE(rep.regressions().empty());
+  EXPECT_FALSE(rep.deltas.empty());
+}
+
+TEST(Baseline, CycleRegressionBeyondToleranceFails) {
+  const core::ExperimentSetup setup;
+  const sim::MachineConfig cfg = sim::MachineConfig::merrimac();
+  const Baseline base = Baseline::capture(
+      {small_result(core::Variant::kFixed, 1e5)}, setup, cfg);
+  // 10% more cycles: beyond the 5% tolerance on `cycles` and `time_ms`.
+  const Baseline worse = Baseline::capture(
+      {small_result(core::Variant::kFixed, 1.1e5)}, setup, cfg);
+  const CompareReport rep = compare(base, worse);
+  EXPECT_FALSE(rep.ok());
+  bool cycles_flagged = false;
+  for (const auto& d : rep.regressions()) {
+    if (d.metric == "cycles") cycles_flagged = true;
+  }
+  EXPECT_TRUE(cycles_flagged);
+  // The mirror comparison is an improvement, which must NOT fail.
+  const CompareReport mirror = compare(worse, base);
+  EXPECT_TRUE(mirror.ok());
+  EXPECT_FALSE(mirror.improvements().empty());
+}
+
+TEST(Baseline, SmallStallBucketJitterToleratedViaAbsFloor) {
+  const MetricPolicy pol = policy_for("sdr_stall_cycles");
+  EXPECT_GT(pol.abs_floor, 0.0);
+  // 0 -> 50 stall cycles is inside the absolute floor: no regression.
+  Baseline a, b;
+  a.variants.push_back({"fixed", {{"sdr_stall_cycles", 0.0}}});
+  b.variants.push_back({"fixed", {{"sdr_stall_cycles", 50.0}}});
+  EXPECT_TRUE(compare(a, b).ok());
+  // 0 -> 500 is past the floor: regression.
+  b.variants[0].metrics[0].value = 500.0;
+  EXPECT_FALSE(compare(a, b).ok());
+}
+
+TEST(Baseline, MissingMetricOrVariantIsANoteAndFailsOk) {
+  Baseline base, cur;
+  base.variants.push_back({"fixed", {{"cycles", 100.0}, {"mem_words", 5.0}}});
+  cur.variants.push_back({"fixed", {{"cycles", 100.0}}});
+  const CompareReport rep = compare(base, cur);
+  EXPECT_FALSE(rep.ok());
+  ASSERT_EQ(rep.notes.size(), 1u);
+  EXPECT_NE(rep.notes[0].find("mem_words"), std::string::npos);
+  // A metric only in `cur` is ignored (enters on the next refresh).
+  const CompareReport rev = compare(cur, base);
+  EXPECT_TRUE(rev.ok());
+}
+
+TEST(Baseline, SetupMismatchIsANote) {
+  Baseline a, b;
+  a.n_molecules = 900;
+  b.n_molecules = 256;
+  EXPECT_FALSE(compare(a, b).ok());
+}
+
+// ---- End-to-end on a small simulated run. ---------------------------------
+
+TEST(ProfIntegration, SmallRunAttributesExhaustivelyAndRoundTrips) {
+  core::ExperimentSetup setup;
+  setup.n_molecules = 64;
+  const core::Problem problem = core::Problem::make(setup);
+  const sim::MachineConfig cfg = sim::MachineConfig::merrimac();
+  const auto results = core::run_all_variants(problem, cfg);
+  for (const auto& r : results) {
+    const StallTaxonomy t = attribute_cycles(r.run);
+    EXPECT_TRUE(t.exhaustive()) << r.name;
+    EXPECT_EQ(t.total_cycles, r.run.cycles) << r.name;
+    // The controller invariant smdprof relies on.
+    EXPECT_EQ(r.run.timeline.busy_cycles(sim::Lane::kStall, r.run.cycles),
+              r.run.sdr_stall_cycles)
+        << r.name;
+    const WasteAccounting w =
+        waste_accounting(r, problem.flops_per_interaction, setup.n_molecules);
+    EXPECT_GE(w.wasted_flops, 0.0) << r.name;
+    EXPECT_GT(w.useful_flops, 0.0) << r.name;
+  }
+  const Baseline base = Baseline::capture(results, setup, cfg);
+  const std::string path = testing::TempDir() + "prof_baseline_test.json";
+  base.write(path);
+  const Baseline loaded = Baseline::load(path);
+  const CompareReport rep = compare(loaded, base);
+  EXPECT_TRUE(rep.ok()) << format_compare(rep);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace smd::prof

@@ -5,6 +5,7 @@
 
 #include "src/core/report.h"
 #include "src/core/run.h"
+#include "src/core/schema.h"
 #include "src/obs/registry.h"
 #include "src/sim/trace.h"
 
@@ -96,11 +97,16 @@ TEST(Trace, AsciiBarsReflectOccupancy) {
   EXPECT_GT(kernel_hashes, memory_hashes);
 }
 
-TEST(Trace, ZeroLengthIntervalIgnored) {
+TEST(Trace, ZeroLengthIntervalKeptAsMarkerButNotCounted) {
   sim::Timeline tl;
-  tl.add(sim::Lane::kKernel, 10, 10, "empty");
+  tl.add(sim::Lane::kKernel, 10, 10, "marker");
+  // Zero-length intervals survive as markers but contribute no occupancy.
   EXPECT_EQ(tl.busy_cycles(sim::Lane::kKernel, 100), 0u);
-  EXPECT_TRUE(tl.intervals().empty());
+  ASSERT_EQ(tl.intervals().size(), 1u);
+  EXPECT_TRUE(tl.merged(sim::Lane::kKernel, 100).empty());
+  // Inverted intervals are malformed and dropped outright.
+  tl.add(sim::Lane::kKernel, 20, 15, "inverted");
+  EXPECT_EQ(tl.intervals().size(), 1u);
 }
 
 TEST(ReportJson, MachineConfigRoundTripsThroughParser) {
@@ -149,7 +155,7 @@ TEST(ReportJson, BenchRecordParsesBackWithConfigCountersAndFractions) {
   const obs::Json rec =
       obs::Json::parse(bench_record("report_test", cfg, {r}).dump(2));
 
-  EXPECT_EQ(rec.at("schema_version").as_int(), 1);
+  EXPECT_EQ(rec.at("schema_version").as_int(), kBenchSchemaVersion);
   EXPECT_EQ(rec.at("bench").as_string(), "report_test");
 
   // Machine config.

@@ -94,6 +94,54 @@ TEST(Timeline, IntervalStraddlingHorizonIsClipped) {
   tl.add(Lane::kKernel, 90, 120, "k");
   EXPECT_EQ(tl.busy_cycles(Lane::kKernel, 100), 10u);
   EXPECT_EQ(tl.busy_cycles(Lane::kKernel, 200), 30u);
+  // A clip that lands exactly on the interval start must not create an
+  // inverted or empty span in merged().
+  EXPECT_TRUE(tl.merged(Lane::kKernel, 90).empty());
+  EXPECT_EQ(tl.busy_cycles(Lane::kKernel, 90), 0u);
+}
+
+TEST(Timeline, ZeroLengthIntervalsDoNotPolluteOccupancy) {
+  // Regression: zero-length intervals used to be silently discarded by
+  // add(); they are now kept as markers but must stay invisible to every
+  // occupancy quantity, including when sandwiched between real spans.
+  Timeline tl;
+  tl.add(Lane::kMemory, 0, 10, "a");
+  tl.add(Lane::kMemory, 10, 10, "marker");
+  tl.add(Lane::kMemory, 10, 20, "b");
+  EXPECT_EQ(tl.intervals().size(), 3u);
+  EXPECT_EQ(tl.busy_cycles(Lane::kMemory, 100), 20u);
+  const auto spans = tl.merged(Lane::kMemory, 100);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0], (std::pair<std::uint64_t, std::uint64_t>{0, 20}));
+}
+
+TEST(Timeline, StallLaneIsIndependentOfKernelAndMemory) {
+  Timeline tl;
+  tl.add(Lane::kKernel, 0, 50, "k");
+  tl.add(Lane::kStall, 20, 40, "sdr-stall");
+  EXPECT_EQ(tl.busy_cycles(Lane::kStall, 100), 20u);
+  EXPECT_EQ(tl.busy_cycles(Lane::kKernel, 100), 50u);
+  // overlap_cycles() is kernel x memory only; stalls do not participate.
+  EXPECT_EQ(tl.overlap_cycles(100), 0u);
+}
+
+TEST(Timeline, ChromeTraceEmitsStallTrack) {
+  Timeline tl;
+  tl.add(Lane::kKernel, 0, 100, "kernel interact");
+  tl.add(Lane::kStall, 40, 60, "sdr-stall");
+  const obs::Json doc = obs::Json::parse(tl.chrome_trace_json(1.0).dump(2));
+  int stall_slices = 0;
+  bool stall_track_named = false;
+  for (const obs::Json& e : doc.at("traceEvents").elements()) {
+    const std::string ph = e.at("ph").as_string();
+    if (ph == "X" && e.at("cat").as_string() == "stall") ++stall_slices;
+    if (ph == "M" && e.at("name").as_string() == "thread_name" &&
+        e.at("args").at("name").as_string() == "SDR stall") {
+      stall_track_named = true;
+    }
+  }
+  EXPECT_EQ(stall_slices, 1);
+  EXPECT_TRUE(stall_track_named);
 }
 
 TEST(Timeline, IntervalEntirelyPastHorizonIgnored) {
@@ -354,6 +402,13 @@ TEST(Machine, ConservativeSdrPolicySerializes) {
   const RunStats conservative = run_with(SdrPolicy::kConservative);
   const RunStats fixed = run_with(SdrPolicy::kTransferScoped);
   EXPECT_GT(conservative.cycles, fixed.cycles);
+  // The stall lane the controller emits must agree exactly with the
+  // per-cycle sdr_stall_cycles counter -- smdprof's taxonomy relies on it.
+  for (const RunStats* s : {&conservative, &fixed}) {
+    EXPECT_EQ(s->timeline.busy_cycles(Lane::kStall, s->cycles),
+              s->sdr_stall_cycles);
+  }
+  EXPECT_GT(conservative.sdr_stall_cycles, 0u);
   // The fixed policy hides a larger fraction of memory time under compute.
   const double ov_fixed = static_cast<double>(fixed.overlap_cycles) /
                           static_cast<double>(fixed.mem_busy_cycles);
