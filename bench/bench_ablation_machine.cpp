@@ -15,6 +15,8 @@ using namespace smd;
 
 int main(int argc, char** argv) {
   benchio::JsonOut jout(argc, argv, "bench_ablation_machine");
+  const sim::SimEngine engine =
+      sim::parse_engine(benchio::engine_flag(argc, argv));
   const core::Problem problem = core::Problem::make({});
 
   {
@@ -23,6 +25,7 @@ int main(int argc, char** argv) {
     obs::Json rows = obs::Json::array();
     for (std::int64_t words : {1024LL, 8192LL, 32768LL, 131072LL}) {
       sim::MachineConfig cfg = sim::MachineConfig::merrimac();
+      cfg.engine = engine;
       cfg.mem.cache.total_words = words;
       const auto r = core::run_variant(problem, core::Variant::kVariable, cfg);
       obs::Json j = obs::Json::object();
@@ -48,6 +51,7 @@ int main(int argc, char** argv) {
     obs::Json rows = obs::Json::array();
     for (int entries : {1, 2, 8, 32}) {
       sim::MachineConfig cfg = sim::MachineConfig::merrimac();
+      cfg.engine = engine;
       cfg.mem.scatter_add.combining_entries = entries;
       const auto r = core::run_variant(problem, core::Variant::kFixed, cfg);
       const auto& sa = r.run.scatter_add_stats;
@@ -77,6 +81,7 @@ int main(int argc, char** argv) {
     obs::Json rows = obs::Json::array();
     for (auto [gens, per] : {std::pair{1, 4}, std::pair{2, 4}, std::pair{4, 4}}) {
       sim::MachineConfig cfg = sim::MachineConfig::merrimac();
+      cfg.engine = engine;
       cfg.mem.n_address_generators = gens;
       cfg.mem.addrs_per_generator = per;
       const auto re = core::run_variant(problem, core::Variant::kExpanded, cfg);

@@ -122,6 +122,8 @@ obs::Json overlap_json(const core::VariantResult& r, const TimelineView& v) {
 int main(int argc, char** argv) {
   benchio::JsonOut jout(argc, argv, "bench_fig7_overlap");
   const std::string trace_path = benchio::flag_value(argc, argv, "trace");
+  const sim::SimEngine engine =
+      sim::parse_engine(benchio::engine_flag(argc, argv));
   const core::Problem problem = core::Problem::make({});
 
   // The flawed allocator effectively left only a strip's worth of SDRs
@@ -131,10 +133,12 @@ int main(int argc, char** argv) {
   sim::MachineConfig before = sim::MachineConfig::merrimac();
   before.sdr_policy = sim::SdrPolicy::kConservative;
   before.n_stream_descriptor_registers = 2;
+  before.engine = engine;
 
   sim::MachineConfig after = sim::MachineConfig::merrimac();
   after.sdr_policy = sim::SdrPolicy::kTransferScoped;
   after.n_stream_descriptor_registers = 8;
+  after.engine = engine;
 
   std::printf("== Figure 7: memory/kernel overlap, variant `duplicated` ==\n\n");
   const auto a = core::run_variant(problem, core::Variant::kDuplicated, before);

@@ -13,7 +13,9 @@ using namespace smd;
 int main(int argc, char** argv) {
   benchio::JsonOut jout(argc, argv, "bench_fig8_locality");
   const core::Problem problem = core::Problem::make({});
-  const auto results = core::run_all_variants(problem);
+  sim::MachineConfig cfg = sim::MachineConfig::merrimac();
+  cfg.engine = sim::parse_engine(benchio::engine_flag(argc, argv));
+  const auto results = core::run_all_variants(problem, cfg);
   std::printf("== Figure 8: locality of the implementations ==\n%s\n",
               core::format_locality_table(results).c_str());
   for (const auto& r : results) {
@@ -27,7 +29,6 @@ int main(int argc, char** argv) {
                     .c_str());
   }
   std::printf("(L = LRF, s = SRF, . = memory)\n");
-  jout.set_record(core::bench_record("bench_fig8_locality",
-                                     sim::MachineConfig::merrimac(), results));
+  jout.set_record(core::bench_record("bench_fig8_locality", cfg, results));
   return 0;
 }

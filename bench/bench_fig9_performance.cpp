@@ -34,7 +34,8 @@ double optimal_solution_gflops(const core::Problem& problem,
 int main(int argc, char** argv) {
   benchio::JsonOut jout(argc, argv, "bench_fig9_performance");
   const core::Problem problem = core::Problem::make({});
-  const sim::MachineConfig cfg = sim::MachineConfig::merrimac();
+  sim::MachineConfig cfg = sim::MachineConfig::merrimac();
+  cfg.engine = sim::parse_engine(benchio::engine_flag(argc, argv));
   const auto results = core::run_all_variants(problem, cfg);
 
   const baseline::P4Model p4;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -13,6 +14,7 @@
 
 #include "src/core/schema.h"
 #include "src/obs/json.h"
+#include "src/sim/config.h"
 
 namespace smd::benchio {
 
@@ -55,6 +57,23 @@ inline std::vector<double> parse_value_list(const std::string& spec) {
     start = end + 1;
   }
   return out;
+}
+
+/// Value of `--engine stepped|event|lockstep` (default "event"): which
+/// simulation core the bench runs on (sim::parse_engine). The engines are
+/// bit-identical in every reported statistic -- stepped exists for
+/// cross-checks and wall-clock comparisons, lockstep runs both and throws
+/// on divergence (DESIGN.md section 10).
+inline std::string engine_flag(int argc, char** argv) {
+  const std::string v = flag_value(argc, argv, "engine");
+  if (v.empty()) return "event";
+  try {
+    (void)sim::parse_engine(v);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "--engine: %s\n", e.what());
+    std::exit(2);
+  }
+  return v;
 }
 
 /// parse_value_list, rounded to int.

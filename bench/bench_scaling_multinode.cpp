@@ -74,7 +74,10 @@ int main(int argc, char** argv) {
   const std::string mol_flag = benchio::flag_value(argc, argv, "molecules");
   if (!mol_flag.empty()) setup.n_molecules = std::stoi(mol_flag);
   const core::Problem problem = core::Problem::make(setup);
-  const auto variable = core::run_variant(problem, core::Variant::kVariable);
+  sim::MachineConfig node_cfg = sim::MachineConfig::merrimac();
+  node_cfg.engine = sim::parse_engine(benchio::engine_flag(argc, argv));
+  const auto variable =
+      core::run_variant(problem, core::Variant::kVariable, node_cfg);
 
   net::ScalingWorkload w;
   w.n_molecules = problem.system.n_molecules();

@@ -3,14 +3,25 @@
 // the achieved II reported. A kernel that cannot be scheduled no longer
 // fails silently -- the ScheduleError's structured diagnostic (kernel
 // name, best-found II bound, binding conflict) lands in the JSON output.
+//
+// With `--molecules N[,N...]` the bench additionally runs every variant
+// through the cycle-accurate simulator at each molecule count and reports
+// simulated cycles plus host wall-clock per variant. Combined with
+// `--engine stepped|event|lockstep` this is the engine-performance
+// harness: the two engines return bit-identical statistics, so comparing
+// their wall-clock at a fixed molecule count isolates simulator speed
+// (EXPERIMENTS.md records the event-engine speedup measured this way).
+#include <chrono>
 #include <cstdio>
 
 #include "bench/bench_io.h"
 #include "src/core/kernels.h"
 #include "src/core/report.h"
+#include "src/core/run.h"
 #include "src/core/streammd.h"
 #include "src/kernel/schedule.h"
 #include "src/md/water.h"
+#include "src/sim/config.h"
 
 int main(int argc, char** argv) {
   smd::benchio::JsonOut jout(argc, argv, "bench_table3_variants");
@@ -50,5 +61,55 @@ int main(int argc, char** argv) {
     variants.push_back(std::move(row));
   }
   jout.root().set("variants", std::move(variants));
+
+  const std::string mols = smd::benchio::flag_value(argc, argv, "molecules");
+  if (!mols.empty()) {
+    const smd::sim::SimEngine engine =
+        smd::sim::parse_engine(smd::benchio::engine_flag(argc, argv));
+    std::vector<int> counts;
+    try {
+      counts = smd::benchio::parse_int_list(mols);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--molecules: %s\n", e.what());
+      return 2;
+    }
+    smd::obs::Json sims = smd::obs::Json::array();
+    for (const int n : counts) {
+      smd::core::ExperimentSetup setup;
+      setup.n_molecules = n;
+      const smd::core::Problem problem = smd::core::Problem::make(setup);
+      smd::sim::MachineConfig cfg = smd::sim::MachineConfig::merrimac();
+      cfg.engine = engine;
+      std::printf("\n== simulating %d molecules (%s engine) ==\n", n,
+                  smd::sim::engine_name(engine));
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto results = smd::core::run_all_variants(problem, cfg);
+      const double wall_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      smd::obs::Json row = smd::obs::Json::object();
+      row.set("molecules", static_cast<std::int64_t>(n));
+      row.set("engine", smd::sim::engine_name(engine));
+      row.set("wall_ms", wall_ms);
+      smd::obs::Json runs = smd::obs::Json::array();
+      for (const auto& r : results) {
+        smd::obs::Json vr = smd::obs::Json::object();
+        vr.set("name", r.name);
+        vr.set("cycles", static_cast<std::int64_t>(r.run.cycles));
+        vr.set("time_ms", r.time_ms);
+        vr.set("solution_gflops", r.solution_gflops);
+        runs.push_back(std::move(vr));
+        std::printf("  %-12s %12llu cycles  %8.3f ms simulated\n",
+                    r.name.c_str(),
+                    static_cast<unsigned long long>(r.run.cycles), r.time_ms);
+      }
+      row.set("runs", std::move(runs));
+      sims.push_back(std::move(row));
+      std::printf("  host wall-clock: %.1f ms for all four variants\n",
+                  wall_ms);
+    }
+    jout.root().set("simulation", std::move(sims));
+  }
   return 0;
 }

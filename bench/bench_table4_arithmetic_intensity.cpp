@@ -12,15 +12,17 @@ using namespace smd;
 int main(int argc, char** argv) {
   benchio::JsonOut jout(argc, argv, "bench_table4_arithmetic_intensity");
   const core::Problem problem = core::Problem::make({});
-  const auto results = core::run_all_variants(problem);
+  sim::MachineConfig cfg = sim::MachineConfig::merrimac();
+  cfg.engine = sim::parse_engine(benchio::engine_flag(argc, argv));
+  const auto results = core::run_all_variants(problem, cfg);
   std::printf("== Table 4: arithmetic intensity ==\n%s\n",
               core::format_arithmetic_intensity_table(results).c_str());
   std::printf(
       "(flops per interaction in the paper's convention: %.0f, of which\n"
       " 9 divides and 9 square roots; the paper quotes ~234)\n",
       problem.flops_per_interaction);
-  jout.set_record(core::bench_record("bench_table4_arithmetic_intensity",
-                                     sim::MachineConfig::merrimac(), results));
+  jout.set_record(
+      core::bench_record("bench_table4_arithmetic_intensity", cfg, results));
   jout.root().set("flops_per_interaction", problem.flops_per_interaction);
   return 0;
 }

@@ -54,12 +54,14 @@ struct Experiment {
   std::vector<core::VariantResult> results;
 };
 
-Experiment run_experiment(int n_molecules) {
+Experiment run_experiment(int n_molecules, sim::SimEngine engine) {
   core::ExperimentSetup setup;
   setup.n_molecules = n_molecules;
-  std::printf("simulating %d molecules (all four variants)...\n", n_molecules);
+  std::printf("simulating %d molecules (all four variants, %s engine)...\n",
+              n_molecules, sim::engine_name(engine));
   Experiment e{setup, core::Problem::make(setup),
                sim::MachineConfig::merrimac(), {}};
+  e.cfg.engine = engine;
   e.results = core::run_all_variants(e.problem, e.cfg);
   return e;
 }
@@ -192,11 +194,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: smdprof --explain | --roofline | "
                    "--record-baseline path | --check-baseline path | "
-                   "--diff baseA baseB  [--molecules N] [--json path]\n");
+                   "--diff baseA baseB  [--molecules N] [--json path] "
+                   "[--engine stepped|event|lockstep]\n");
       return 2;
     }
 
-    const Experiment e = run_experiment(n_molecules);
+    const Experiment e = run_experiment(
+        n_molecules, sim::parse_engine(benchio::engine_flag(argc, argv)));
     int status = 0;
     if (explain) status |= run_explain(e, json);
     if (roofline) status |= run_roofline(e, json);

@@ -253,6 +253,7 @@ int main(int argc, char** argv) {
   ropts.verbose = has_flag(argc, argv, "--verbose");
   const std::string prune = benchio::flag_value(argc, argv, "prune");
   if (!prune.empty()) ropts.prune_slack = std::stod(prune);
+  ropts.engine = sim::parse_engine(benchio::engine_flag(argc, argv));
 
   core::ExperimentSetup setup;
   setup.n_molecules = int_flag(argc, argv, "molecules", 900);
@@ -273,6 +274,7 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "usage: smdtune --paper | --sweep \"axis=...\" | --list-axes\n"
                "       [--molecules N] [--jobs N] [--cache path] "
-               "[--prune slack] [--json path] [--verbose]\n");
+               "[--prune slack] [--json path] [--verbose]\n"
+               "       [--engine stepped|event|lockstep]\n");
   return 2;
 }

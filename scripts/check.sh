@@ -29,6 +29,15 @@ for preset in "${presets[@]}"; do
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "$(nproc)"
   ctest --preset "${preset}" -j "$(nproc)"
+  if [ "${preset}" = default ] || [ "${preset}" = asan-ubsan ]; then
+    # Engine equivalence gate (DESIGN.md section 10): the event-driven
+    # simulation core must stay bit-identical to the cycle-stepped
+    # reference -- randomized programs plus all four StreamMD variants in
+    # lockstep. Part of the suite above; re-run standalone so a lockstep
+    # divergence is named in the log even when other tests also fail.
+    echo "==== lockstep engine cross-check (${preset}) ===="
+    ctest --preset "${preset}" -R lockstep_test --output-on-failure
+  fi
   echo "==== smdcheck --all (${preset}) ===="
   "${build_dir[${preset}]}/examples/smdcheck" --all
   echo "==== smdtune --paper --jobs 4 (${preset}) ===="

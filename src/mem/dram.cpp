@@ -17,6 +17,12 @@ bool Dram::try_read_line(std::uint64_t line_addr) {
   return true;
 }
 
+bool Dram::can_accept_read(std::uint64_t line_addr) const {
+  const Channel& ch =
+      channels_[static_cast<std::size_t>(channel_of_line(line_addr))];
+  return static_cast<int>(ch.read_queue.size()) < cfg_.read_queue_depth;
+}
+
 bool Dram::try_write_words(std::uint64_t addr, int n) {
   const std::uint64_t line = addr / static_cast<std::uint64_t>(line_words_);
   Channel& ch = channels_[static_cast<std::size_t>(channel_of_line(line))];
@@ -99,11 +105,36 @@ bool Dram::writes_drained() const {
 
 bool Dram::idle() const {
   if (!completions_.empty()) return false;
+  return !channels_busy();
+}
+
+bool Dram::channels_busy() const {
   for (const auto& ch : channels_) {
     if (ch.in_service || !ch.read_queue.empty() || ch.pending_write_words > 0)
-      return false;
+      return true;
   }
-  return true;
+  return false;
+}
+
+std::uint64_t Dram::next_completion_time() const {
+  return completions_.empty() ? kNever : completions_.top().first;
+}
+
+void Dram::advance_idle(std::uint64_t dt) {
+  now_ += dt;
+  // With every channel idle, a tick only accrues credit and clamps it at
+  // the idle cap; once a channel saturates, every further tick leaves it
+  // exactly at the cap, so the replay loop can stop there.
+  const double cap = 4.0 * static_cast<double>(line_words_);
+  for (auto& ch : channels_) {
+    for (std::uint64_t k = 0; k < dt; ++k) {
+      ch.credit += cfg_.channel_words_per_cycle;
+      if (ch.credit > cap) {
+        ch.credit = cap;
+        break;
+      }
+    }
+  }
 }
 
 }  // namespace smd::mem

@@ -45,6 +45,9 @@ class Dram {
   /// Enqueue a line read; returns false when the channel queue is full.
   bool try_read_line(std::uint64_t line_addr);
 
+  /// True when try_read_line(line_addr) would succeed (no side effects).
+  bool can_accept_read(std::uint64_t line_addr) const;
+
   /// Post `n` write words at `addr`; returns false when the buffer is full.
   bool try_write_words(std::uint64_t addr, int n);
 
@@ -56,6 +59,24 @@ class Dram {
 
   bool writes_drained() const;
   bool idle() const;
+
+  /// True when any channel has per-cycle work: a read being serviced or
+  /// queued, or posted writes draining. Pending read *completions* (data
+  /// in flight back to the cache) do not count -- they need no channel
+  /// cycles, only the passage of time.
+  bool channels_busy() const;
+
+  /// Cycle at which the earliest pending read completion becomes visible
+  /// (the tick that pops it), or kNever when none is in flight.
+  static constexpr std::uint64_t kNever = ~0ULL;
+  std::uint64_t next_completion_time() const;
+
+  /// Fast-forward `dt` cycles of pure waiting. Precondition:
+  /// !channels_busy() and now() + dt < next_completion_time(). Replays the
+  /// per-cycle credit accrual exactly (bit-identical to dt calls of
+  /// tick()), which saturates at the idle cap after a bounded number of
+  /// steps, so the cost is O(1) amortized regardless of dt.
+  void advance_idle(std::uint64_t dt);
 
   const DramStats& stats() const { return stats_; }
   std::uint64_t now() const { return now_; }

@@ -13,14 +13,18 @@ std::uint64_t GlobalMemory::alloc(std::int64_t n) {
 }
 
 void GlobalMemory::write_block(std::uint64_t addr, const std::vector<double>& data) {
-  if (addr + data.size() > words_.size()) {
+  // Overflow-safe form of `addr + data.size() > words_.size()`: the naive
+  // sum wraps for addresses near 2^64 and sails past the check.
+  if (addr > words_.size() || data.size() > words_.size() - addr) {
     throw std::runtime_error("write_block out of range");
   }
   std::copy(data.begin(), data.end(), words_.begin() + static_cast<std::ptrdiff_t>(addr));
 }
 
 std::vector<double> GlobalMemory::read_block(std::uint64_t addr, std::int64_t n) const {
-  if (addr + static_cast<std::uint64_t>(n) > words_.size()) {
+  if (n < 0) throw std::runtime_error("read_block negative length");
+  if (addr > words_.size() ||
+      static_cast<std::uint64_t>(n) > words_.size() - addr) {
     throw std::runtime_error("read_block out of range");
   }
   return {words_.begin() + static_cast<std::ptrdiff_t>(addr),
@@ -222,10 +226,16 @@ bool MemSystem::bank_process_one(int b) {
         return true;
       }
       if (static_cast<int>(bank.mshrs.size()) < cfg_.cache.mshrs_per_bank &&
-          static_cast<int>(bank.combining.occupancy()) <
-              cfg_.scatter_add.combining_entries &&
-          dram_.try_read_line(line)) {
-        bank.combining.try_allocate(req.addr, now_);
+          dram_.can_accept_read(line)) {
+        // The combining-store entry must be secured before the word is
+        // retired: a full store counts a `stalled` retry (as on the hit
+        // and secondary-miss paths) and the request stays head-of-line
+        // for the next cycle instead of being dropped.
+        if (!bank.combining.try_allocate(req.addr, now_)) return false;
+        if (!dram_.try_read_line(line)) {
+          throw std::logic_error("scatter-add miss fill: DRAM rejected a "
+                                 "read it advertised capacity for");
+        }
         bank.mshrs.emplace(line, Mshr{{}, true});
         bank.queue.pop_front();
         retire_word(req.op);
@@ -282,7 +292,52 @@ bool MemSystem::all_done() const {
   for (const auto& bank : banks_) {
     if (!bank.pending_writebacks.empty() || !bank.mshrs.empty()) return false;
   }
-  return true;
+  // The DRAM must have gone quiet too: in-flight channel reads, undrained
+  // read completions, and posted writes are all memory-system business even
+  // after every op has retired (write-through stores retire when the write
+  // is *posted*, not when it reaches DRAM).
+  return dram_.idle();
+}
+
+bool MemSystem::has_cycle_work() const {
+  if (!ag_queue_.empty()) return true;
+  for (const OpId cur : ag_current_) {
+    if (cur >= 0) return true;
+  }
+  for (const auto& bank : banks_) {
+    if (!bank.queue.empty() || !bank.pending_writebacks.empty()) return true;
+  }
+  return dram_.channels_busy();
+}
+
+std::uint64_t MemSystem::next_event_time() const {
+  if (has_cycle_work()) return now_ + 1;
+  return dram_.next_completion_time();
+}
+
+void MemSystem::tick_until(std::uint64_t t) {
+  while (now_ < t) {
+    if (!has_cycle_work()) {
+      // Pure wait: the only future activity is the tick that pops the next
+      // DRAM read completion (if any). Jump to just before it -- or to the
+      // target -- replaying the per-cycle effects exactly: DRAM credit
+      // accrual, the busy-cycle counter, and combining-window expiry
+      // (purging once at the landing cycle removes the same entry set as
+      // purging every cycle would, and no requests arrive in between).
+      const std::uint64_t fill = dram_.next_completion_time();
+      std::uint64_t jump_to = t;
+      if (fill != Dram::kNever && fill - 1 < jump_to) jump_to = fill - 1;
+      if (jump_to > now_) {
+        const std::uint64_t dt = jump_to - now_;
+        dram_.advance_idle(dt);
+        if (active_ops_ > 0) stats_.busy_cycles += static_cast<std::int64_t>(dt);
+        now_ = jump_to;
+        for (auto& bank : banks_) bank.combining.purge_expired(now_);
+        continue;
+      }
+    }
+    tick();
+  }
 }
 
 ScatterAddStats MemSystem::scatter_add_stats() const {

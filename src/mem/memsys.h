@@ -83,8 +83,29 @@ class MemSystem {
   /// Advance one cycle.
   void tick();
 
+  /// Advance to cycle `t` (t >= now()), bit-identical to `t - now()` calls
+  /// of tick(). Pure-wait stretches -- no address generation, no bank
+  /// work, no DRAM channel activity -- are fast-forwarded in O(1) instead
+  /// of being ticked through; anything else falls back to per-cycle
+  /// tick(). Callers that need to observe op completions promptly should
+  /// bound `t` by next_event_time().
+  void tick_until(std::uint64_t t);
+
+  /// Earliest future cycle at which the visible state (op_done answers,
+  /// statistics) may change: now()+1 while any per-cycle machinery is
+  /// active, the next DRAM read-completion cycle when only fills are
+  /// outstanding, or kNever when nothing at all is in flight (pending
+  /// op_finish_time pipeline drains are the caller's to track).
+  static constexpr std::uint64_t kNever = Dram::kNever;
+  std::uint64_t next_event_time() const;
+
   bool op_done(OpId id) const;
-  /// Cycle at which the op completed (valid once op_done).
+  /// True once the op's last word retired (its finish_time is final);
+  /// op_done additionally waits for the pipeline-drain finish_time.
+  bool op_completed(OpId id) const {
+    return ops_[static_cast<std::size_t>(id)].done;
+  }
+  /// Cycle at which the op completed (valid once op_completed).
   std::uint64_t op_finish_time(OpId id) const;
   bool all_done() const;
   std::uint64_t now() const { return now_; }
@@ -128,6 +149,7 @@ class MemSystem {
   bool bank_process_one(int b);
   void handle_fills();
   void generate_addresses();
+  bool has_cycle_work() const;
 
   MemSystemConfig cfg_;
   GlobalMemory* mem_;

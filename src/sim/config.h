@@ -16,6 +16,8 @@
 //   Stream cache size                       1 MB
 #pragma once
 
+#include <string>
+
 #include "src/analysis/diag.h"
 #include "src/kernel/schedule.h"
 #include "src/mem/memsys.h"
@@ -35,6 +37,22 @@ enum class SdrPolicy {
   kTransferScoped,
 };
 
+/// Which simulation core Controller::run uses. Both engines produce
+/// bit-identical RunStats (cycle counts, every attribution bucket, every
+/// timeline interval) -- the event-driven core is simply faster, advancing
+/// time in jumps between retirement events instead of busy-waiting one
+/// cycle at a time. kLockstep runs both and throws on any field mismatch;
+/// it is the cross-check mode wired into ctest (see DESIGN.md section 10).
+enum class SimEngine {
+  kStepped,   ///< original cycle-stepped busy-wait loop
+  kEvent,     ///< event-driven ready-list core (default)
+  kLockstep,  ///< run both, assert bit-identical stats, return the result
+};
+
+const char* engine_name(SimEngine e);
+/// Parse "stepped" | "event" | "lockstep" (throws std::invalid_argument).
+SimEngine parse_engine(const std::string& name);
+
 struct MachineConfig {
   int n_clusters = 16;
   int fpus_per_cluster = 4;
@@ -47,6 +65,7 @@ struct MachineConfig {
 
   int n_stream_descriptor_registers = 8;
   SdrPolicy sdr_policy = SdrPolicy::kTransferScoped;
+  SimEngine engine = SimEngine::kEvent;
 
   /// Scalar-core + microcontroller overhead to launch a kernel and prime
   /// its software pipeline (Section 5.1 lists this among the reasons for

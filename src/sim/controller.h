@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/kernel/interp.h"
@@ -48,6 +49,13 @@ struct RunStats {
     return static_cast<double>(cycles) / (clock_ghz * 1e9);
   }
 };
+
+/// Field-by-field comparison of two runs; empty string when every stat --
+/// cycles, attribution buckets, memory/cache/DRAM/scatter-add counters and
+/// all timeline intervals -- is identical, else a human-readable summary of
+/// the first mismatches. This is the equivalence oracle behind
+/// SimEngine::kLockstep and the lockstep ctest.
+std::string diff_run_stats(const RunStats& a, const RunStats& b);
 
 /// Executes a StreamProgram against a memory image, cycle by cycle.
 class Controller {

@@ -20,11 +20,14 @@ class SrfAllocator {
 
   /// Try to reserve `words`; false if it would exceed capacity.
   bool try_alloc(std::int64_t words) {
-    if (in_use_ + words > capacity_) return false;
+    if (!fits(words)) return false;
     in_use_ += words;
     peak_ = in_use_ > peak_ ? in_use_ : peak_;
     return true;
   }
+
+  /// Whether try_alloc(words) would succeed (no side effects).
+  bool fits(std::int64_t words) const { return in_use_ + words <= capacity_; }
 
   void free(std::int64_t words) { in_use_ -= words; }
 

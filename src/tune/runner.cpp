@@ -62,8 +62,10 @@ Metrics Metrics::from_json(const obs::Json& j) {
   return m;
 }
 
-Metrics evaluate(const core::Problem& problem, const Candidate& cand) {
-  const sim::MachineConfig cfg = cand.machine();
+Metrics evaluate(const core::Problem& problem, const Candidate& cand,
+                 sim::SimEngine engine) {
+  sim::MachineConfig cfg = cand.machine();
+  cfg.engine = engine;
   {
     analysis::Diagnostics diags = cfg.validate();
     if (diags.errors() > 0) throw analysis::CheckFailure(std::move(diags));
@@ -220,7 +222,7 @@ std::vector<EvalResult> Runner::run(const std::vector<Candidate>& cands) {
         if (k >= todo.size()) break;
         EvalResult& r = out[todo[k]];
         try {
-          r.metrics = evaluate(problem_, r.cand);
+          r.metrics = evaluate(problem_, r.cand, opts_.engine);
           obs::CounterRegistry::global().add("tune.evaluated");
         } catch (const std::exception& e) {
           r.error = e.what();

@@ -51,6 +51,22 @@ TEST(GlobalMemory, BlockHelpersBoundsChecked) {
   EXPECT_THROW(mem.read_block(a, 5), std::runtime_error);
 }
 
+TEST(GlobalMemory, BlockHelpersRejectUnsignedWrap) {
+  // Regression: `addr + n` overflow used to wrap past the end-of-memory
+  // check and index out of bounds. Addresses near 2^64 must throw, not
+  // wrap to small offsets.
+  GlobalMemory mem;
+  mem.alloc(16);
+  const std::uint64_t huge = ~0ULL - 1;
+  EXPECT_THROW(mem.write_block(huge, {1.0, 2.0, 3.0}), std::runtime_error);
+  EXPECT_THROW(mem.read_block(huge, 4), std::runtime_error);
+  EXPECT_THROW((void)mem.read_block(0, -1), std::runtime_error);
+  // An exact fit against the upper boundary stays legal (off-by-one guard).
+  mem.write_block(14, {7.0, 8.0});
+  EXPECT_EQ(mem.read_block(14, 2), (std::vector<double>{7.0, 8.0}));
+  EXPECT_THROW(mem.write_block(15, {7.0, 8.0}), std::runtime_error);
+}
+
 TEST(AddrGen, StridedDense) {
   MemOpDesc d;
   d.kind = MemOpKind::kLoadStrided;
@@ -445,6 +461,58 @@ TEST(MemSystem, SequentialLoadApproachesDramPeak) {
   const double dram_peak = cfg.dram.n_channels * cfg.dram.channel_words_per_cycle;
   EXPECT_GT(words_per_cycle, 0.6 * dram_peak);   // streams well
   EXPECT_LT(words_per_cycle, dram_peak * 1.01);  // never exceeds peak
+}
+
+TEST(MemSystem, AllDoneWaitsForDramToGoQuiet) {
+  // Regression: all_done() used to ignore the DRAM's own state, reporting
+  // completion while posted write-through words were still draining at
+  // channel bandwidth. After all_done() the DRAM must be idle: further
+  // ticks accrue no busy cycles.
+  GlobalMemory mem;
+  const auto base = mem.alloc(4096);
+  MemSystem ms(small_config(), &mem);
+  MemOpDesc d;
+  d.kind = MemOpKind::kStoreStrided;
+  d.base = base;
+  d.n_records = 512;
+  d.record_words = 8;
+  std::vector<double> src(4096, 1.5);
+  ms.issue(d, nullptr, &src);
+  run_to_completion(ms);
+  const auto busy = ms.dram_stats().busy_cycles;
+  for (int i = 0; i < 500; ++i) ms.tick();
+  EXPECT_EQ(ms.dram_stats().busy_cycles, busy);
+  EXPECT_TRUE(ms.all_done());
+}
+
+TEST(MemSystem, ScatterAddCombiningFullRetriesAndCountsStall) {
+  // Regression: the scatter-add miss-fill path ignored the combining
+  // store's try_allocate result, so a full combining store neither held
+  // the request head-of-line nor surfaced in the `stalled` counter. With
+  // one combining entry per bank and two cold lines on the same bank, the
+  // second addition must retry (stalled > 0) and the sums stay exact.
+  GlobalMemory mem;
+  const auto base = mem.alloc(128);
+  ASSERT_EQ(base, 0u);  // line/bank mapping below assumes base 0
+  MemSystemConfig cfg = small_config();
+  cfg.scatter_add.combining_entries = 1;
+  MemSystem ms(cfg, &mem);
+  MemOpDesc d;
+  d.kind = MemOpKind::kScatterAdd;
+  d.base = base;
+  d.n_records = 8;
+  d.record_words = 1;
+  // Words 0 and 64: distinct cache lines, same bank (8 banks x 8-word
+  // lines), alternating so every other addition finds the single
+  // combining entry held by the other address.
+  d.indices = {0, 64, 0, 64, 0, 64, 0, 64};
+  const std::vector<double> src = {1, 10, 2, 20, 3, 30, 4, 40};
+  ms.issue(d, nullptr, &src);
+  run_to_completion(ms);
+  EXPECT_DOUBLE_EQ(mem.read(base + 0), 10.0);
+  EXPECT_DOUBLE_EQ(mem.read(base + 64), 100.0);
+  EXPECT_GT(ms.scatter_add_stats().stalled, 0);
+  EXPECT_EQ(ms.scatter_add_stats().requests, 8);
 }
 
 TEST(MemSystem, ZeroLengthOpCompletesImmediately) {

@@ -417,6 +417,59 @@ TEST(Machine, ConservativeSdrPolicySerializes) {
   EXPECT_GT(ov_fixed, ov_cons);
 }
 
+TEST(Machine, SrfBlockedOpDoesNotCountAsSdrStall) {
+  // Regression for the stall-attribution bug: a load waiting while the
+  // single SDR is busy used to be charged to sdr_stall_cycles even when it
+  // could not have issued anyway because its SRF allocation would fail.
+  // Only a cycle where an op is blocked *solely* on SDRs is an SDR stall.
+  //
+  // Construction: strip A = load s0(512) -> square -> store s1(512);
+  // strip B = load s2(768) -> store. With srf_words = 1200, B's load is
+  // SRF-blocked at every instant A's transfers hold the SDR:
+  //   * during A's load: allocation is out of order (s1 not allocated);
+  //   * during A's store: 688 free words < 768.
+  // So the run must report zero SDR stalls despite long SDR-busy waits.
+  MachineConfig cfg = test_config();
+  cfg.n_stream_descriptor_registers = 1;
+  cfg.srf_words = 1200;
+  Machine machine(cfg);
+  auto& mem = machine.memory();
+  const kernel::KernelDef def = make_square();
+  const auto a_base = mem.alloc(512), a_out = mem.alloc(512);
+  const auto b_base = mem.alloc(768), b_out = mem.alloc(768);
+
+  StreamProgram prog;
+  const StreamId s0 = prog.new_stream(512);
+  const StreamId s1 = prog.new_stream(512);
+  const StreamId s2 = prog.new_stream(768);
+  mem::MemOpDesc load_a;
+  load_a.kind = mem::MemOpKind::kLoadStrided;
+  load_a.base = a_base;
+  load_a.n_records = 512;
+  load_a.record_words = 1;
+  prog.load(load_a, s0);
+  prog.kernel(&def, {s0, s1}, 512 / 16);
+  mem::MemOpDesc store_a = load_a;
+  store_a.kind = mem::MemOpKind::kStoreStrided;
+  store_a.base = a_out;
+  prog.store(store_a, s1);
+  mem::MemOpDesc load_b;
+  load_b.kind = mem::MemOpKind::kLoadStrided;
+  load_b.base = b_base;
+  load_b.n_records = 768;
+  load_b.record_words = 1;
+  prog.load(load_b, s2);
+  mem::MemOpDesc store_b = load_b;
+  store_b.kind = mem::MemOpKind::kStoreStrided;
+  store_b.base = b_out;
+  prog.store(store_b, s2);
+
+  const RunStats stats = machine.run(prog);
+  EXPECT_EQ(stats.sdr_stall_cycles, 0u);
+  EXPECT_EQ(stats.timeline.busy_cycles(Lane::kStall, stats.cycles), 0u);
+  EXPECT_EQ(stats.n_memory_ops, 4);
+}
+
 TEST(Machine, DetectsBindingArityMismatch) {
   Machine machine(test_config());
   const kernel::KernelDef def = make_square();
