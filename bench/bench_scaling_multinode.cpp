@@ -7,12 +7,15 @@
 //   --nodes a,b,c | lo:hi:step   node counts to sweep (default 1,2,4,...,64)
 //   --molecules N                calibration water-box size (default 900)
 //   --large-molecules N          the scaled-up system (default 115200, 128x)
+//   --trace path                 per-node Chrome trace of the paper sweep
 #include <cstdint>
 #include <cstdio>
 
 #include "bench/bench_io.h"
 #include "src/core/run.h"
 #include "src/net/multinode.h"
+#include "src/obs/trace_event.h"
+#include "src/prof/parallel.h"
 #include "src/util/table.h"
 
 using namespace smd;
@@ -22,16 +25,24 @@ namespace {
 obs::Json sweep_json(const net::ScalingModel& model,
                      const std::vector<std::int64_t>& nodes) {
   obs::Json rows = obs::Json::array();
-  for (const auto& p : model.sweep(nodes)) {
+  for (const auto n : nodes) {
+    const net::ScalingPoint p = model.at(n);
+    const prof::ParallelTaxonomy tax =
+        prof::attribute_parallel(model.breakdown(n));
     obs::Json j = obs::Json::object();
     j.set("nodes", p.nodes)
         .set("compute_s", p.compute_s)
         .set("local_mem_s", p.local_mem_s)
         .set("network_s", p.network_s)
+        .set("serialization_s", p.serialization_s)
+        .set("imbalance_s", p.imbalance_s)
         .set("step_s", p.step_s)
         .set("speedup", p.speedup)
         .set("efficiency", p.efficiency)
-        .set("halo_fraction", p.halo_fraction);
+        .set("halo_fraction", p.halo_fraction)
+        .set("imbalance_ratio", p.imbalance_ratio)
+        .set("critical_node", p.critical_node)
+        .set("taxonomy", prof::to_json(tax));
     rows.push_back(std::move(j));
   }
   return rows;
@@ -51,6 +62,13 @@ void sweep(const char* title, const net::ScalingModel& model,
                util::Table::num(p.halo_fraction, 2)});
   }
   std::printf("%s\n%s\n", title, t.render().c_str());
+  std::printf("per-node decomposition (node-time shares)\n%s\n",
+              prof::format_parallel_table([&] {
+                std::vector<net::StepBreakdown> bds;
+                bds.reserve(nodes.size());
+                for (const auto n : nodes) bds.push_back(model.breakdown(n));
+                return bds;
+              }()).c_str());
 }
 
 }  // namespace
@@ -113,5 +131,15 @@ int main(int argc, char** argv) {
                   sweep_json(net::ScalingModel(w, net::NetworkConfig{}), nodes));
   jout.root().set("large_system",
                   sweep_json(net::ScalingModel(big, net::NetworkConfig{}), nodes));
+
+  const std::string trace_path = benchio::flag_value(argc, argv, "trace");
+  if (!trace_path.empty()) {
+    obs::TraceSink sink;
+    const net::ScalingModel model(w, net::NetworkConfig{});
+    for (const auto n : nodes) net::append_trace(model.breakdown(n), sink);
+    sink.write(trace_path);
+    std::printf("per-node trace written to %s (%zu slices)\n",
+                trace_path.c_str(), sink.size());
+  }
   return 0;
 }

@@ -2,6 +2,8 @@
 //
 //   smdprof --explain   [--molecules N] [--json path]
 //   smdprof --roofline  [--molecules N] [--json path]
+//   smdprof --scaling   [--nodes a,b,c] [--molecules N] [--json path]
+//                       [--trace path]
 //   smdprof --record-baseline path [--molecules N]
 //   smdprof --check-baseline path  [--molecules N] [--json path]
 //   smdprof --diff baseA baseB
@@ -18,6 +20,15 @@
 // bandwidth roofs (Table 4 arithmetic intensities) and reports both the
 // model's predicted binding resource and the measured one.
 //
+// --scaling runs the multi-node per-node decomposition (src/net/parallel.h
+// calibrated from the `variable` run): for every node count it prints the
+// compute / communication / serialization / load-imbalance shares of
+// total node-time plus the derived metrics (parallel efficiency,
+// imbalance ratio, halo fraction, critical node), and acts as a golden
+// check -- it exits non-zero if any node count's ParallelTaxonomy fails
+// the exact sum-to-total invariant or any per-node ledger does not tile
+// the step. --trace exports one Chrome-trace lane per simulated node.
+//
 // --record-baseline / --check-baseline / --diff drive the regression
 // harness of src/prof/baseline.h. The simulator is deterministic, so the
 // recorded metrics are byte-stable; --check-baseline re-runs the
@@ -31,9 +42,12 @@
 
 #include "bench/bench_io.h"
 #include "src/core/run.h"
+#include "src/net/multinode.h"
 #include "src/obs/json.h"
+#include "src/obs/trace_event.h"
 #include "src/prof/attribution.h"
 #include "src/prof/baseline.h"
+#include "src/prof/parallel.h"
 #include "src/prof/roofline.h"
 
 using namespace smd;
@@ -54,15 +68,22 @@ struct Experiment {
   std::vector<core::VariantResult> results;
 };
 
-Experiment run_experiment(int n_molecules, sim::SimEngine engine) {
+Experiment run_experiment(int n_molecules, sim::SimEngine engine,
+                          bool variable_only = false) {
   core::ExperimentSetup setup;
   setup.n_molecules = n_molecules;
-  std::printf("simulating %d molecules (all four variants, %s engine)...\n",
-              n_molecules, sim::engine_name(engine));
+  std::printf("simulating %d molecules (%s, %s engine)...\n", n_molecules,
+              variable_only ? "variable variant" : "all four variants",
+              sim::engine_name(engine));
   Experiment e{setup, core::Problem::make(setup),
                sim::MachineConfig::merrimac(), {}};
   e.cfg.engine = engine;
-  e.results = core::run_all_variants(e.problem, e.cfg);
+  if (variable_only) {
+    e.results.push_back(
+        core::run_variant(e.problem, core::Variant::kVariable, e.cfg));
+  } else {
+    e.results = core::run_all_variants(e.problem, e.cfg);
+  }
   return e;
 }
 
@@ -143,6 +164,133 @@ int run_explain(const Experiment& e, benchio::JsonOut& json) {
   return failures == 0 ? 0 : 1;
 }
 
+/// Node counts the baseline pins. Fixed (independent of --nodes) so the
+/// committed scaling metrics keep a stable shape across records.
+const std::vector<std::int64_t> kBaselineScalingNodes = {1,  2,  4, 8,
+                                                         16, 32, 64};
+
+/// Multi-node workload calibrated from the single-node `variable` run,
+/// exactly as bench_scaling_multinode calibrates its sweeps.
+net::ScalingWorkload scaling_workload(const Experiment& e) {
+  const auto* variable = by_variant(e, core::Variant::kVariable);
+  if (variable == nullptr) {
+    throw std::runtime_error("no `variable` run to calibrate scaling from");
+  }
+  net::ScalingWorkload w;
+  w.n_molecules = e.problem.system.n_molecules();
+  w.cutoff = e.setup.cutoff;
+  w.flops_per_interaction = e.problem.flops_per_interaction;
+  w.words_per_interaction = static_cast<double>(variable->mem_refs) /
+                            static_cast<double>(variable->n_real_interactions);
+  w.cycles_per_interaction =
+      static_cast<double>(variable->run.cycles) /
+      static_cast<double>(variable->n_real_interactions);
+  w.seed = e.setup.seed;
+  return w;
+}
+
+std::vector<net::StepBreakdown> scaling_breakdowns(
+    const net::ScalingModel& model, const std::vector<std::int64_t>& nodes) {
+  std::vector<net::StepBreakdown> out;
+  out.reserve(nodes.size());
+  for (const auto n : nodes) out.push_back(model.breakdown(n));
+  return out;
+}
+
+int run_scaling(const Experiment& e, const std::vector<std::int64_t>& nodes,
+                benchio::JsonOut& json, const std::string& trace_path) {
+  const net::ScalingWorkload w = scaling_workload(e);
+  const net::ScalingModel model(w, net::NetworkConfig{});
+  const auto breakdowns = scaling_breakdowns(model, nodes);
+
+  std::printf("\n== Per-node parallel decomposition (calibrated: %.3f "
+              "cycles/interaction) ==\n%s",
+              w.cycles_per_interaction,
+              prof::format_parallel_table(breakdowns).c_str());
+
+  // Golden checks: the four buckets must sum exactly to total node-time,
+  // every ledger must tile the step, and the partition must conserve
+  // molecules -- for every node count.
+  int failures = 0;
+  obs::Json points = obs::Json::array();
+  for (const auto& b : breakdowns) {
+    const prof::ParallelTaxonomy tax = prof::attribute_parallel(b);
+    if (!tax.exhaustive()) {
+      std::printf("FAIL: P=%lld taxonomy sums to %llu of %llu node-ns\n",
+                  static_cast<long long>(b.nodes),
+                  static_cast<unsigned long long>(tax.sum()),
+                  static_cast<unsigned long long>(tax.total_node_ns));
+      ++failures;
+    }
+    std::int64_t owned = 0;
+    for (const auto& ledger : b.ledgers) {
+      owned += ledger.molecules;
+      if (ledger.total_ns() != b.step_ns) {
+        std::printf("FAIL: P=%lld node %lld ledger (%llu ns) does not tile "
+                    "the %llu ns step\n",
+                    static_cast<long long>(b.nodes),
+                    static_cast<long long>(ledger.node),
+                    static_cast<unsigned long long>(ledger.total_ns()),
+                    static_cast<unsigned long long>(b.step_ns));
+        ++failures;
+      }
+    }
+    if (owned != w.n_molecules) {
+      std::printf("FAIL: P=%lld partition owns %lld of %lld molecules\n",
+                  static_cast<long long>(b.nodes),
+                  static_cast<long long>(owned),
+                  static_cast<long long>(w.n_molecules));
+      ++failures;
+    }
+
+    const net::ScalingPoint pt = model.at(b.nodes);
+    obs::Json jp = prof::to_json(tax);
+    jp.set("speedup", pt.speedup)
+        .set("efficiency", pt.efficiency)
+        .set("halo_fraction", b.halo_fraction)
+        .set("imbalance_ratio", b.imbalance_ratio)
+        .set("critical_node", b.critical_node);
+    obs::Json ledgers = obs::Json::array();
+    for (const auto& ledger : b.ledgers) {
+      obs::Json jl = obs::Json::object();
+      jl.set("node", ledger.node)
+          .set("molecules", ledger.molecules)
+          .set("halo_molecules", ledger.halo_molecules)
+          .set("tier", net::tier_name(ledger.tier))
+          .set("halo_gather_ns", ledger.halo_gather_ns)
+          .set("compute_ns", ledger.compute_ns)
+          .set("force_scatter_ns", ledger.force_scatter_ns)
+          .set("network_latency_ns", ledger.network_latency_ns)
+          .set("imbalance_wait_ns", ledger.imbalance_wait_ns);
+      ledgers.push_back(std::move(jl));
+    }
+    jp.set("ledgers", std::move(ledgers));
+    points.push_back(std::move(jp));
+  }
+  obs::Json js = obs::Json::object();
+  obs::Json jw = obs::Json::object();
+  jw.set("n_molecules", w.n_molecules)
+      .set("cutoff_nm", w.cutoff)
+      .set("words_per_interaction", w.words_per_interaction)
+      .set("cycles_per_interaction", w.cycles_per_interaction)
+      .set("load_jitter", w.load_jitter)
+      .set("seed", w.seed);
+  js.set("workload", std::move(jw));
+  js.set("points", std::move(points));
+  json.root().set("scaling", std::move(js));
+
+  if (!trace_path.empty()) {
+    obs::TraceSink sink;
+    for (const auto& b : breakdowns) net::append_trace(b, sink);
+    sink.write(trace_path);
+    std::printf("per-node trace written to %s (%zu slices)\n",
+                trace_path.c_str(), sink.size());
+  }
+  std::printf("scaling decomposition %s (%zu node counts)\n",
+              failures == 0 ? "OK" : "FAILED", breakdowns.size());
+  return failures == 0 ? 0 : 1;
+}
+
 int run_roofline(const Experiment& e, benchio::JsonOut& json) {
   std::vector<prof::RooflinePoint> points;
   for (const auto& r : e.results) {
@@ -190,31 +338,69 @@ int main(int argc, char** argv) {
     const std::string check = benchio::flag_value(argc, argv, "check-baseline");
     const bool explain = has_flag(argc, argv, "--explain");
     const bool roofline = has_flag(argc, argv, "--roofline");
-    if (!explain && !roofline && record.empty() && check.empty()) {
+    const bool scaling = has_flag(argc, argv, "--scaling");
+    if (!explain && !roofline && !scaling && record.empty() && check.empty()) {
       std::fprintf(stderr,
-                   "usage: smdprof --explain | --roofline | "
+                   "usage: smdprof --explain | --roofline | --scaling | "
                    "--record-baseline path | --check-baseline path | "
-                   "--diff baseA baseB  [--molecules N] [--json path] "
+                   "--diff baseA baseB  [--molecules N] [--nodes a,b,c] "
+                   "[--json path] [--trace path] "
                    "[--engine stepped|event|lockstep]\n");
       return 2;
     }
 
+    // Parse --nodes up front: a malformed list must fail with the usual
+    // `--flag: message` / exit 2 before the (expensive) simulation runs.
+    std::vector<std::int64_t> nodes = kBaselineScalingNodes;
+    const std::string nodes_flag = benchio::flag_value(argc, argv, "nodes");
+    if (!nodes_flag.empty()) {
+      nodes.clear();
+      try {
+        for (const int n : benchio::parse_int_list(nodes_flag)) {
+          nodes.push_back(n);
+        }
+      } catch (const std::exception& ex) {
+        std::fprintf(stderr, "--nodes: bad value list '%s' (%s)\n",
+                     nodes_flag.c_str(), ex.what());
+        return 2;
+      }
+    }
+
+    // --scaling only needs the `variable` run it calibrates from; the
+    // other modes (and the baseline, which also snapshots per-variant
+    // metrics) need all four variants.
+    const bool variable_only =
+        scaling && !explain && !roofline && record.empty() && check.empty();
     const Experiment e = run_experiment(
-        n_molecules, sim::parse_engine(benchio::engine_flag(argc, argv)));
+        n_molecules, sim::parse_engine(benchio::engine_flag(argc, argv)),
+        variable_only);
     int status = 0;
     if (explain) status |= run_explain(e, json);
     if (roofline) status |= run_roofline(e, json);
+    if (scaling) {
+      status |= run_scaling(e, nodes, json,
+                            benchio::flag_value(argc, argv, "trace"));
+    }
 
+    // The baseline additionally pins the multi-node decomposition on the
+    // fixed default sweep, so scaling metrics are regression-gated like
+    // the single-node ones.
+    auto capture = [&] {
+      prof::Baseline b = prof::Baseline::capture(e.results, e.setup, e.cfg);
+      const net::ScalingModel model(scaling_workload(e), net::NetworkConfig{});
+      b.capture_scaling(scaling_breakdowns(model, kBaselineScalingNodes));
+      return b;
+    };
     if (!record.empty()) {
-      const prof::Baseline b = prof::Baseline::capture(e.results, e.setup, e.cfg);
+      const prof::Baseline b = capture();
       b.write(record);
-      std::printf("baseline recorded to %s (%zu variants)\n", record.c_str(),
-                  b.variants.size());
+      std::printf("baseline recorded to %s (%zu variants, %zu scaling "
+                  "points)\n",
+                  record.c_str(), b.variants.size(), b.scaling.size());
     }
     if (!check.empty()) {
       const prof::Baseline base = prof::Baseline::load(check);
-      const prof::Baseline cur =
-          prof::Baseline::capture(e.results, e.setup, e.cfg);
+      const prof::Baseline cur = capture();
       const prof::CompareReport rep = prof::compare(base, cur);
       std::fputs(prof::format_compare(rep).c_str(), stdout);
       obs::Json jr = obs::Json::object();

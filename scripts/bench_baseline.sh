@@ -9,6 +9,12 @@
 # re-recording on an unchanged tree produces an identical file. Commit the
 # refreshed BENCH_baseline.json together with the change that moved the
 # numbers; scripts/check.sh and the `smdprof_baseline` ctest gate on it.
+#
+# Since baseline schema v2 the file also pins the multi-node scaling
+# decomposition (one "p=<nodes>" entry per node count of the default
+# sweep: step time, compute/communication/serialization/imbalance
+# node-time buckets, parallel efficiency, imbalance ratio, halo fraction),
+# so parallel-performance regressions gate exactly like single-node ones.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,5 +31,8 @@ if [ "${1:-}" = "--check" ]; then
 fi
 
 "${BUILD}/examples/smdprof" --record-baseline "${BASELINE}"
+# Sanity: the decomposition the file now pins must pass its own
+# sum-to-total self-check before we ask anyone to commit it.
+"${BUILD}/examples/smdprof" --scaling --molecules 256 >/dev/null
 echo "refreshed ${BASELINE}; review the diff and commit it with your change"
 git --no-pager diff --stat -- "${BASELINE}" || true

@@ -42,6 +42,13 @@ for preset in "${presets[@]}"; do
   "${build_dir[${preset}]}/examples/smdcheck" --all
   echo "==== smdtune --paper --jobs 4 (${preset}) ===="
   "${build_dir[${preset}]}/examples/smdtune" --paper --jobs 4 --molecules 256
+  if [ "${preset}" = default ] || [ "${preset}" = asan-ubsan ]; then
+    # Multi-node decomposition self-check (DESIGN.md section 11): the
+    # parallel taxonomy must sum exactly to total node-time at every node
+    # count, and every per-node ledger must tile the step.
+    echo "==== smdprof --scaling (${preset}) ===="
+    "${build_dir[${preset}]}/examples/smdprof" --scaling --molecules 256
+  fi
   if [ "${preset}" = default ]; then
     # Benchmark-regression gate (see EXPERIMENTS.md "Profiling and
     # regression tracking"): on the first ever run record the baseline;

@@ -3,53 +3,55 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/net/parallel.h"
+
 namespace smd::net {
 
+StepBreakdown ScalingModel::breakdown(std::int64_t nodes) const {
+  return simulate_step(w_, topo_, nodes);
+}
+
 ScalingPoint ScalingModel::at(std::int64_t nodes) const {
+  const StepBreakdown b = breakdown(nodes);
   ScalingPoint pt;
   pt.nodes = nodes;
+  pt.step_s = static_cast<double>(b.step_ns) * 1e-9;
+  pt.halo_fraction = b.halo_fraction;
+  pt.imbalance_ratio = b.imbalance_ratio;
+  pt.critical_node = b.critical_node;
 
-  const double interactions = w_.interactions();
-  const double per_node_interactions = interactions / static_cast<double>(nodes);
+  const NodeLedger& crit =
+      b.ledgers[static_cast<std::size_t>(b.critical_node)];
+  pt.compute_s = static_cast<double>(crit.compute_ns) * 1e-9;
+  pt.network_s =
+      static_cast<double>(crit.halo_gather_ns + crit.force_scatter_ns) * 1e-9;
+  pt.serialization_s = static_cast<double>(crit.network_latency_ns) * 1e-9;
 
-  // Compute: calibrated chip-level cycles per interaction.
-  pt.compute_s = per_node_interactions * w_.cycles_per_interaction /
-                 (w_.node_clock_ghz * 1e9);
+  // Balanced per-node local-memory time, reported for comparison with the
+  // compute phase (which is the max of the two on the critical node).
+  const double per_node_interactions =
+      w_.interactions() / static_cast<double>(nodes);
+  const double ghz = w_.node_clock_ghz > 0.0 ? w_.node_clock_ghz : 1.0;
+  pt.local_mem_s = w_.local_mem_words_per_cycle > 0.0
+                       ? per_node_interactions * w_.words_per_interaction /
+                             (w_.local_mem_words_per_cycle * ghz * 1e9)
+                       : 0.0;
 
-  // Local memory: the single-node traffic, split across nodes.
-  const double words = per_node_interactions * w_.words_per_interaction;
-  pt.local_mem_s = words / (w_.local_mem_words_per_cycle * w_.node_clock_ghz * 1e9);
-
-  // Halo exchange: each node owns a cube of edge Lp; molecules within r_c
-  // of a face are remote-gathered (positions) and remote-reduced (forces).
-  const double volume = static_cast<double>(w_.n_molecules) / w_.number_density;
-  const double lp = std::cbrt(volume / static_cast<double>(nodes));
-  const double own = static_cast<double>(w_.n_molecules) / static_cast<double>(nodes);
-  // Halo shell volume around the cube, clipped to at most replicating the
-  // entire rest of the box.
-  const double rc = w_.cutoff;
-  const double halo_volume =
-      std::pow(lp + 2.0 * rc, 3.0) - lp * lp * lp;
-  double halo_molecules = std::min(
-      halo_volume * w_.number_density,
-      static_cast<double>(w_.n_molecules) - own);
-  halo_molecules = std::max(halo_molecules, 0.0);
-  pt.halo_fraction = nodes > 1 ? halo_molecules / own : 0.0;
-
-  if (nodes > 1) {
-    const double bytes =
-        halo_molecules * (w_.position_words + w_.force_words) * 8.0;
-    // Neighbors in a 3-D decomposition sit mostly one tier up; charge the
-    // tier a node of this system size typically crosses.
-    const std::int64_t peer = std::min<std::int64_t>(
-        nodes - 1, topo_.config().nodes_per_board);
-    pt.network_s = topo_.message_seconds(0, peer, static_cast<std::int64_t>(bytes));
+  long double wait_sum = 0.0;
+  for (const auto& ledger : b.ledgers) {
+    wait_sum += static_cast<long double>(ledger.imbalance_wait_ns);
   }
+  pt.imbalance_s = static_cast<double>(
+      wait_sum / static_cast<long double>(nodes) * 1e-9L);
 
-  pt.step_s = std::max({pt.compute_s, pt.local_mem_s, pt.network_s});
-
+  // Speedup against the single-node step. A degenerate workload (zero
+  // molecules, zero interactions) has a zero-length step everywhere;
+  // define speedup = 1 there so efficiency stays finite (1/P: extra nodes
+  // buy nothing on no work).
   const ScalingPoint base = nodes == 1 ? pt : at(1);
-  pt.speedup = base.step_s / pt.step_s;
+  pt.speedup = (base.step_s > 0.0 && pt.step_s > 0.0)
+                   ? base.step_s / pt.step_s
+                   : 1.0;
   pt.efficiency = pt.speedup / static_cast<double>(nodes);
   return pt;
 }

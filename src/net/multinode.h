@@ -1,20 +1,25 @@
 // Multi-node StreamMD scaling model (the paper's "initial results of the
 // scaling of the algorithm to larger configurations of the system").
 //
-// Spatial decomposition: the periodic box is split into P equal
-// sub-volumes, one per node. Each step a node must
-//   * compute its share of the pair interactions (calibrated with the
-//     single-node simulator's cycles/interaction),
+// Spatial decomposition: the periodic box is split into P sub-volumes on
+// a near-cubic grid, one per node. Each step a node must
 //   * gather halo positions for molecules within r_c of its boundary from
-//     neighbor nodes, and
+//     neighbor nodes,
+//   * compute its share of the pair interactions (calibrated with the
+//     single-node simulator's cycles/interaction, overlapped with its
+//     local memory traffic), and
 //   * scatter-add partial forces back across the same halo (Merrimac's
 //     network scatter-add works across nodes at full cache bandwidth).
-// Time per step = max(compute, local memory, network) + per-tier latency.
+// The step time and its decomposition come from the per-node ledger
+// model of src/net/parallel.h: every node accounts each phase in integer
+// nanoseconds, the step is the barrier makespan, and the slack of the
+// faster nodes is charged to an explicit load-imbalance bucket.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "src/net/parallel.h"
 #include "src/net/topology.h"
 
 namespace smd::net {
@@ -33,6 +38,13 @@ struct ScalingWorkload {
   double cycles_per_interaction = 4.0;   ///< measured, chip-level
   double local_mem_words_per_cycle = 4.8;
 
+  // Per-node load model: owned molecule counts jitter around n/P by up to
+  // +/- load_jitter (spatial decomposition never splits perfectly), drawn
+  // deterministically from `seed` so every simulation of this workload is
+  // byte-identical.
+  double load_jitter = 0.04;
+  std::uint64_t seed = 42;
+
   double interactions() const {
     const double vc = 4.0 / 3.0 * 3.14159265358979 * cutoff * cutoff * cutoff;
     return static_cast<double>(n_molecules) * number_density * vc / 2.0;
@@ -41,13 +53,17 @@ struct ScalingWorkload {
 
 struct ScalingPoint {
   std::int64_t nodes = 1;
-  double compute_s = 0.0;
-  double local_mem_s = 0.0;
-  double network_s = 0.0;
-  double step_s = 0.0;
+  double compute_s = 0.0;    ///< critical node: compute phase (max of flops/local mem)
+  double local_mem_s = 0.0;  ///< balanced per-node local-memory time
+  double network_s = 0.0;    ///< critical node: halo gather + force scatter bandwidth
+  double serialization_s = 0.0;  ///< critical node: per-message tier latency
+  double imbalance_s = 0.0;      ///< mean barrier wait across nodes
+  double step_s = 0.0;           ///< barrier makespan
   double speedup = 1.0;
   double efficiency = 1.0;
-  double halo_fraction = 0.0;  ///< remote molecules / local molecules
+  double halo_fraction = 0.0;    ///< remote molecules / local molecules
+  double imbalance_ratio = 0.0;  ///< (max busy - mean busy) / mean busy
+  std::int64_t critical_node = 0;
 };
 
 class ScalingModel {
@@ -55,10 +71,16 @@ class ScalingModel {
   ScalingModel(const ScalingWorkload& w, const NetworkConfig& net)
       : w_(w), topo_(net) {}
 
+  /// Aggregate view of breakdown(nodes). Throws std::invalid_argument on
+  /// nodes < 1 or nodes > config().max_nodes().
   ScalingPoint at(std::int64_t nodes) const;
   std::vector<ScalingPoint> sweep(const std::vector<std::int64_t>& node_counts) const;
 
+  /// The full per-node ledger view (src/net/parallel.h).
+  StepBreakdown breakdown(std::int64_t nodes) const;
+
   const ScalingWorkload& workload() const { return w_; }
+  const Topology& topology() const { return topo_; }
 
  private:
   ScalingWorkload w_;

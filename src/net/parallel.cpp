@@ -1,0 +1,253 @@
+#include "src/net/parallel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+#include "src/net/multinode.h"
+#include "src/util/rng.h"
+
+namespace smd::net {
+namespace {
+
+std::uint64_t ns_round(double ns) {
+  if (!(ns > 0.0)) return 0;
+  return static_cast<std::uint64_t>(std::llround(ns));
+}
+
+/// Grid coordinates of a linearized node id (x fastest, so x-neighbors
+/// stay on-board for as long as the board holds a row).
+struct GridCoord {
+  std::int64_t x = 0, y = 0, z = 0;
+};
+
+GridCoord coord_of(std::int64_t id, const DecompositionGrid& g) {
+  return {id % g.nx, (id / g.nx) % g.ny, id / (g.nx * g.ny)};
+}
+
+std::int64_t id_of(const GridCoord& c, const DecompositionGrid& g) {
+  return c.x + g.nx * (c.y + g.ny * c.z);
+}
+
+/// Deterministic partition of n molecules over `nodes` weights: floor of
+/// the proportional share, then the leftover distributed by descending
+/// fractional remainder (index breaks ties), so the counts always sum to
+/// n exactly.
+std::vector<std::int64_t> partition_molecules(
+    std::int64_t n, const std::vector<double>& weights) {
+  const std::size_t p = weights.size();
+  const double total =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+  std::vector<std::int64_t> counts(p, 0);
+  if (n <= 0 || total <= 0.0) return counts;
+  std::vector<std::pair<double, std::size_t>> remainder(p);
+  std::int64_t assigned = 0;
+  for (std::size_t i = 0; i < p; ++i) {
+    const double share = static_cast<double>(n) * weights[i] / total;
+    counts[i] = static_cast<std::int64_t>(share);
+    assigned += counts[i];
+    remainder[i] = {share - static_cast<double>(counts[i]), i};
+  }
+  std::sort(remainder.begin(), remainder.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (std::int64_t k = 0; k < n - assigned; ++k) {
+    ++counts[remainder[static_cast<std::size_t>(k) % p].second];
+  }
+  return counts;
+}
+
+}  // namespace
+
+DecompositionGrid decomposition_grid(std::int64_t nodes) {
+  DecompositionGrid best{1, 1, nodes};
+  std::int64_t best_sum = 2 + nodes;
+  for (std::int64_t nx = 1; nx * nx * nx <= nodes; ++nx) {
+    if (nodes % nx != 0) continue;
+    const std::int64_t rest = nodes / nx;
+    for (std::int64_t ny = nx; ny * ny <= rest; ++ny) {
+      if (rest % ny != 0) continue;
+      const std::int64_t nz = rest / ny;
+      const std::int64_t sum = nx + ny + nz;
+      if (sum < best_sum) {
+        best_sum = sum;
+        best = {nx, ny, nz};
+      }
+    }
+  }
+  return best;
+}
+
+StepBreakdown simulate_step(const ScalingWorkload& w, const Topology& topo,
+                            std::int64_t nodes) {
+  if (nodes < 1) {
+    throw std::invalid_argument("simulate_step: nodes must be >= 1, got " +
+                                std::to_string(nodes));
+  }
+  if (nodes > topo.config().max_nodes()) {
+    throw std::invalid_argument(
+        "simulate_step: " + std::to_string(nodes) +
+        " nodes exceeds the modeled machine's max_nodes() = " +
+        std::to_string(topo.config().max_nodes()));
+  }
+
+  StepBreakdown b;
+  b.nodes = nodes;
+  b.grid = decomposition_grid(nodes);
+  b.ledgers.resize(static_cast<std::size_t>(nodes));
+
+  // Owned molecule counts: proportional share with seeded jitter. The
+  // jitter amplitude is clamped so a pathological workload cannot produce
+  // negative weights.
+  const double jitter = std::clamp(w.load_jitter, 0.0, 0.95);
+  util::Rng rng(w.seed ^ (0x9e3779b97f4a7c15ULL *
+                          static_cast<std::uint64_t>(nodes)));
+  std::vector<double> weights(static_cast<std::size_t>(nodes));
+  for (auto& wt : weights) wt = 1.0 + jitter * (2.0 * rng.uniform() - 1.0);
+  const std::vector<std::int64_t> owned =
+      partition_molecules(std::max<std::int64_t>(w.n_molecules, 0), weights);
+
+  // Subdomain geometry: the cubic periodic box split on the grid. The
+  // halo extent in each dimension is clipped to the box edge so slab
+  // decompositions cannot gather more than the box holds.
+  const double n_total = static_cast<double>(std::max<std::int64_t>(
+      w.n_molecules, 0));
+  const double volume = w.number_density > 0.0 ? n_total / w.number_density
+                                               : 0.0;
+  const double box = std::cbrt(std::max(volume, 0.0));
+  const double lx = box / static_cast<double>(b.grid.nx);
+  const double ly = box / static_cast<double>(b.grid.ny);
+  const double lz = box / static_cast<double>(b.grid.nz);
+  const double rc = std::max(w.cutoff, 0.0);
+  const double halo_volume =
+      std::min(lx + 2.0 * rc, box) * std::min(ly + 2.0 * rc, box) *
+          std::min(lz + 2.0 * rc, box) -
+      lx * ly * lz;
+
+  // Face weights: a face's halo slab volume scales with its area, so the
+  // per-direction share of the halo bytes follows the subdomain areas.
+  const double area[3] = {ly * lz, lx * lz, lx * ly};
+  const std::int64_t dims[3] = {b.grid.nx, b.grid.ny, b.grid.nz};
+  double active_area = 0.0;
+  for (int d = 0; d < 3; ++d) {
+    if (dims[d] > 1) active_area += 2.0 * area[d];
+  }
+
+  const double interactions = w.interactions();
+  const double ghz = w.node_clock_ghz > 0.0 ? w.node_clock_ghz : 1.0;
+  double halo_total = 0.0;
+  std::uint64_t max_busy = 0;
+  long double busy_sum = 0.0;
+
+  for (std::int64_t i = 0; i < nodes; ++i) {
+    NodeLedger& ledger = b.ledgers[static_cast<std::size_t>(i)];
+    ledger.node = i;
+    ledger.molecules = owned[static_cast<std::size_t>(i)];
+
+    // Compute phase: this node's interaction share, overlapped with its
+    // local memory traffic exactly as on a single node (the larger of the
+    // two binds).
+    const double share =
+        n_total > 0.0 ? static_cast<double>(ledger.molecules) / n_total : 0.0;
+    const double node_interactions = interactions * share;
+    const double compute_ns =
+        node_interactions * w.cycles_per_interaction / ghz;
+    const double local_mem_ns =
+        w.local_mem_words_per_cycle > 0.0
+            ? node_interactions * w.words_per_interaction /
+                  (w.local_mem_words_per_cycle * ghz)
+            : 0.0;
+    ledger.compute_ns = ns_round(std::max(compute_ns, local_mem_ns));
+
+    // Halo: molecules within r_c of the subdomain faces, clamped to what
+    // the rest of the box actually holds.
+    double halo = std::min(halo_volume * w.number_density,
+                           n_total - static_cast<double>(ledger.molecules));
+    ledger.halo_molecules = std::max(halo, 0.0);
+    halo_total += ledger.halo_molecules;
+
+    // Face messages: one gather + one scatter per active face, each
+    // charged its tier's latency; bandwidth time follows the face's area
+    // share of the halo bytes. GB/s == bytes/ns, so ns = bytes / GB/s.
+    double gather_ns = 0.0;
+    double scatter_ns = 0.0;
+    double latency_ns = 0.0;
+    if (nodes > 1 && active_area > 0.0 && ledger.halo_molecules > 0.0) {
+      const double gather_bytes = ledger.halo_molecules * w.position_words * 8.0;
+      const double scatter_bytes = ledger.halo_molecules * w.force_words * 8.0;
+      const GridCoord c = coord_of(i, b.grid);
+      for (int d = 0; d < 3; ++d) {
+        if (dims[d] <= 1) continue;
+        for (const std::int64_t dir : {std::int64_t{-1}, std::int64_t{1}}) {
+          GridCoord nb = c;
+          auto& axis = d == 0 ? nb.x : d == 1 ? nb.y : nb.z;
+          axis = (axis + dir + dims[d]) % dims[d];
+          const Route r = topo.route(i, id_of(nb, b.grid));
+          ledger.tier = std::max(ledger.tier, r.tier);
+          const double frac = area[d] / active_area;
+          gather_ns += gather_bytes * frac / r.bandwidth_gbytes;
+          scatter_ns += scatter_bytes * frac / r.bandwidth_gbytes;
+          latency_ns += 2.0 * r.latency_ns;  // one gather + one scatter msg
+        }
+      }
+    }
+    ledger.halo_gather_ns = ns_round(gather_ns);
+    ledger.force_scatter_ns = ns_round(scatter_ns);
+    ledger.network_latency_ns = ns_round(latency_ns);
+
+    max_busy = std::max(max_busy, ledger.busy_ns());
+    busy_sum += static_cast<long double>(ledger.busy_ns());
+  }
+
+  // Barrier: everyone waits for the slowest node; the wait is charged to
+  // the imbalance bucket, so every ledger tiles [0, step_ns) exactly.
+  b.step_ns = max_busy;
+  for (auto& ledger : b.ledgers) {
+    ledger.imbalance_wait_ns = b.step_ns - ledger.busy_ns();
+  }
+  for (const auto& ledger : b.ledgers) {
+    if (ledger.busy_ns() == max_busy) {
+      b.critical_node = ledger.node;
+      break;
+    }
+  }
+  const double mean_busy =
+      static_cast<double>(busy_sum / static_cast<long double>(nodes));
+  b.imbalance_ratio =
+      mean_busy > 0.0
+          ? (static_cast<double>(max_busy) - mean_busy) / mean_busy
+          : 0.0;
+  b.halo_fraction = n_total > 0.0 ? halo_total / n_total : 0.0;
+  return b;
+}
+
+void append_trace(const StepBreakdown& b, obs::TraceSink& sink) {
+  const int pid = static_cast<int>(b.nodes);
+  sink.set_process_name(
+      pid, "scaling P=" + std::to_string(b.nodes) + " (" +
+               std::to_string(b.grid.nx) + "x" + std::to_string(b.grid.ny) +
+               "x" + std::to_string(b.grid.nz) + ")");
+  for (const auto& ledger : b.ledgers) {
+    const int tid = static_cast<int>(ledger.node);
+    sink.set_track_name(pid, tid, "node " + std::to_string(ledger.node));
+    std::uint64_t t = 0;
+    const std::pair<const char*, std::uint64_t> phases[] = {
+        {"halo gather", ledger.halo_gather_ns},
+        {"compute", ledger.compute_ns},
+        {"force scatter-add", ledger.force_scatter_ns},
+        {"network latency", ledger.network_latency_ns},
+        {"barrier wait", ledger.imbalance_wait_ns},
+    };
+    for (const auto& [name, dur] : phases) {
+      if (dur == 0) continue;
+      sink.add({name, "parallel", pid, tid, t, dur});
+      t += dur;
+    }
+  }
+}
+
+}  // namespace smd::net

@@ -1,0 +1,105 @@
+// Per-node parallel-performance decomposition of a multi-node StreamMD
+// step (the instrument behind `smdprof --scaling`).
+//
+// The closed-form scaling model answered "how long is a step on P nodes"
+// with one aggregate number. This layer answers "where did every
+// node-nanosecond of that step go", the way the GROMACS performance
+// papers (Andersson et al. 2022; Pall et al. 2015) decompose a parallel
+// run: each simulated node keeps a ledger of its step --
+//
+//   halo gather     receive neighbor positions for molecules within r_c
+//                   of its subdomain faces (bandwidth term),
+//   compute         its share of the pair interactions, overlapped with
+//                   local memory traffic (the max of the two, as on a
+//                   single node),
+//   force scatter   push partial forces back across the same halo
+//                   (bandwidth term; Merrimac's network scatter-add),
+//   network latency the per-message tier latency of every halo message
+//                   (a serialization term: it does not shrink with P),
+//   imbalance wait  idle time at the step barrier until the slowest
+//                   node finishes.
+//
+// All ledger entries are integer nanoseconds, so the five buckets tile
+// the step makespan *exactly* per node -- the same sum-to-total-by-
+// construction discipline as prof::StallTaxonomy (DESIGN.md section 9),
+// with no "other" term to hide accounting bugs in.
+//
+// The load model is deterministic: molecules are partitioned over a
+// near-cubic decomposition grid with a seeded per-node jitter
+// (xoshiro256**), so repeated simulations of the same workload are
+// byte-identical and the baseline gate can pin the derived metrics.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/net/topology.h"
+#include "src/obs/trace_event.h"
+
+namespace smd::net {
+
+struct ScalingWorkload;  // multinode.h
+
+/// The 3-D decomposition grid a node count factors into: nodes =
+/// nx*ny*nz, chosen as close to cubic as the factorization allows (prime
+/// counts degrade to slabs -- the "non-cubic" regime).
+struct DecompositionGrid {
+  std::int64_t nx = 1;
+  std::int64_t ny = 1;
+  std::int64_t nz = 1;
+  std::int64_t nodes() const { return nx * ny * nz; }
+};
+DecompositionGrid decomposition_grid(std::int64_t nodes);
+
+/// One node's accounting of one simulated step. The five time buckets
+/// are integer nanoseconds and tile the step makespan exactly:
+/// busy_ns() + imbalance_wait_ns == StepBreakdown::step_ns for every
+/// ledger of a breakdown.
+struct NodeLedger {
+  std::int64_t node = 0;           ///< node id (grid-linearized)
+  std::int64_t molecules = 0;      ///< owned molecules after load jitter
+  double halo_molecules = 0.0;     ///< remote molecules gathered/reduced
+  Tier tier = Tier::kSelf;         ///< highest tier its halo crosses
+
+  std::uint64_t halo_gather_ns = 0;
+  std::uint64_t compute_ns = 0;
+  std::uint64_t force_scatter_ns = 0;
+  std::uint64_t network_latency_ns = 0;
+  std::uint64_t imbalance_wait_ns = 0;
+
+  /// Time the node is doing something (everything but the barrier wait).
+  std::uint64_t busy_ns() const {
+    return halo_gather_ns + compute_ns + force_scatter_ns +
+           network_latency_ns;
+  }
+  std::uint64_t total_ns() const { return busy_ns() + imbalance_wait_ns; }
+};
+
+/// Per-node decomposition of one step at one node count.
+struct StepBreakdown {
+  std::int64_t nodes = 1;
+  DecompositionGrid grid;
+  std::uint64_t step_ns = 0;        ///< makespan: max over ledgers of busy
+  std::vector<NodeLedger> ledgers;  ///< size == nodes
+
+  std::int64_t critical_node = 0;   ///< argmax busy (first on ties)
+  double imbalance_ratio = 0.0;     ///< (max busy - mean busy) / mean busy
+  double halo_fraction = 0.0;       ///< total halo molecules / owned
+};
+
+/// Simulate one step of `w` spatially decomposed over `nodes` nodes of
+/// the network described by `topo`. Throws std::invalid_argument when
+/// nodes < 1 or nodes > topo.config().max_nodes() (the machine being
+/// modeled simply has no such configuration).
+StepBreakdown simulate_step(const ScalingWorkload& w, const Topology& topo,
+                            std::int64_t nodes);
+
+/// Append the breakdown to a Chrome-trace sink: one process per node
+/// count (pid == nodes), one track per simulated node, with one slice per
+/// non-empty ledger bucket laid out in phase order (gather, compute,
+/// scatter, latency, barrier wait). Loadable next to the single-node
+/// Timeline traces in chrome://tracing / Perfetto.
+void append_trace(const StepBreakdown& b, obs::TraceSink& sink);
+
+}  // namespace smd::net

@@ -69,6 +69,7 @@ Json TraceSink::chrome_json() const {
     events.push_back(std::move(e));
   }
   Json root = Json::object();
+  root.set("schema_version", kTraceSchemaVersion);
   root.set("traceEvents", std::move(events));
   root.set("displayTimeUnit", "ns");
   return root;

@@ -17,6 +17,13 @@
 
 namespace smd::obs {
 
+/// Version of the Chrome-trace export layout, stamped into the top-level
+/// object next to "traceEvents" (Chrome/Perfetto ignore unknown keys) so
+/// trace files carry the same versioning as `--json` bench records.
+/// History:
+///   1  slices + process/thread metadata; schema_version key added
+inline constexpr int kTraceSchemaVersion = 1;
+
 /// One complete slice on a (pid, tid) track; times in nanoseconds
 /// (simulator cycles at 1 GHz map 1:1 to ns).
 struct TraceEvent {

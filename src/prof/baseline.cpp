@@ -7,6 +7,7 @@
 
 #include "src/core/schema.h"
 #include "src/prof/attribution.h"
+#include "src/prof/parallel.h"
 #include "src/util/table.h"
 
 namespace smd::prof {
@@ -40,6 +41,17 @@ constexpr NamedPolicy kPolicies[] = {
     {"ai_measured", {false, 0.05, 0.0}},
     {"lrf_fraction", {false, 0.02, 0.0}},
     {"max_force_rel_err", {true, 0.0, 1e-9}},
+    // Multi-node scaling decomposition (schema v2). Node-time buckets in
+    // integer ns; small buckets (latency, imbalance) get absolute floors
+    // so single-digit-ns calibration drift cannot fail the gate.
+    {"step_ns", {true, 0.05, 0.0}},
+    {"compute_node_ns", {true, 0.05, 0.0}},
+    {"communication_node_ns", {true, 0.05, 64.0}},
+    {"serialization_node_ns", {true, 0.10, 64.0}},
+    {"imbalance_node_ns", {true, 0.15, 256.0}},
+    {"parallel_efficiency", {false, 0.02, 0.0}},
+    {"imbalance_ratio", {true, 0.10, 0.01}},
+    {"halo_fraction", {true, 0.0, 1e-9}},
 };
 
 double metric_or_throw(const VariantBaseline& v, const std::string& name,
@@ -106,6 +118,27 @@ Baseline Baseline::capture(const std::vector<core::VariantResult>& results,
   return b;
 }
 
+void Baseline::capture_scaling(
+    const std::vector<net::StepBreakdown>& breakdowns) {
+  for (const auto& bd : breakdowns) {
+    const ParallelTaxonomy tax = attribute_parallel(bd);
+    VariantBaseline v;
+    v.variant = "p=" + std::to_string(bd.nodes);
+    auto put = [&v](const char* name, double value) {
+      v.metrics.push_back({name, value});
+    };
+    put("step_ns", static_cast<double>(tax.step_ns));
+    put("compute_node_ns", static_cast<double>(tax.compute_ns));
+    put("communication_node_ns", static_cast<double>(tax.communication_ns));
+    put("serialization_node_ns", static_cast<double>(tax.serialization_ns));
+    put("imbalance_node_ns", static_cast<double>(tax.imbalance_ns));
+    put("parallel_efficiency", tax.parallel_efficiency());
+    put("imbalance_ratio", bd.imbalance_ratio);
+    put("halo_fraction", bd.halo_fraction);
+    scaling.push_back(std::move(v));
+  }
+}
+
 obs::Json Baseline::to_json() const {
   obs::Json j = obs::Json::object();
   j.set("schema_version", schema_version);
@@ -119,26 +152,32 @@ obs::Json Baseline::to_json() const {
   machine.set("sdr_policy", sdr_policy);
   machine.set("peak_gflops", peak_gflops);
   j.set("machine", std::move(machine));
-  obs::Json vars = obs::Json::array();
-  for (const auto& v : variants) {
-    obs::Json jv = obs::Json::object();
-    jv.set("variant", v.variant);
-    obs::Json metrics = obs::Json::object();
-    for (const auto& m : v.metrics) metrics.set(m.name, m.value);
-    jv.set("metrics", std::move(metrics));
-    vars.push_back(std::move(jv));
-  }
-  j.set("variants", std::move(vars));
+  auto section_json = [](const std::vector<VariantBaseline>& section) {
+    obs::Json arr = obs::Json::array();
+    for (const auto& v : section) {
+      obs::Json jv = obs::Json::object();
+      jv.set("variant", v.variant);
+      obs::Json metrics = obs::Json::object();
+      for (const auto& m : v.metrics) metrics.set(m.name, m.value);
+      jv.set("metrics", std::move(metrics));
+      arr.push_back(std::move(jv));
+    }
+    return arr;
+  };
+  j.set("variants", section_json(variants));
+  j.set("scaling", section_json(scaling));
   return j;
 }
 
 Baseline Baseline::from_json(const obs::Json& j) {
   Baseline b;
   b.schema_version = static_cast<int>(j.at("schema_version").as_int());
-  if (b.schema_version != kBaselineSchemaVersion) {
+  // v1 files are still readable: they predate the scaling section, which
+  // stays empty (compare() then simply has no scaling rows to gate).
+  if (b.schema_version < 1 || b.schema_version > kBaselineSchemaVersion) {
     throw std::runtime_error(
         "unsupported baseline schema_version " +
-        std::to_string(b.schema_version) + " (this build reads " +
+        std::to_string(b.schema_version) + " (this build reads 1.." +
         std::to_string(kBaselineSchemaVersion) + "); re-record the baseline");
   }
   b.bench_schema_version =
@@ -151,13 +190,20 @@ Baseline Baseline::from_json(const obs::Json& j) {
   const obs::Json& machine = j.at("machine");
   b.sdr_policy = machine.at("sdr_policy").as_string();
   b.peak_gflops = machine.at("peak_gflops").as_double();
-  for (const obs::Json& jv : j.at("variants").elements()) {
-    VariantBaseline v;
-    v.variant = jv.at("variant").as_string();
-    for (const auto& [name, value] : jv.at("metrics").items()) {
-      v.metrics.push_back({name, value.as_double()});
+  auto read_section = [](const obs::Json& arr,
+                         std::vector<VariantBaseline>& out) {
+    for (const obs::Json& jv : arr.elements()) {
+      VariantBaseline v;
+      v.variant = jv.at("variant").as_string();
+      for (const auto& [name, value] : jv.at("metrics").items()) {
+        v.metrics.push_back({name, value.as_double()});
+      }
+      out.push_back(std::move(v));
     }
-    b.variants.push_back(std::move(v));
+  };
+  read_section(j.at("variants"), b.variants);
+  if (const obs::Json* scaling = j.find("scaling")) {
+    read_section(*scaling, b.scaling);
   }
   return b;
 }
@@ -197,45 +243,52 @@ CompareReport compare(const Baseline& base, const Baseline& current) {
       base.peak_gflops != current.peak_gflops) {
     rep.notes.push_back("machine configuration differs from the baseline's");
   }
-  for (const auto& bv : base.variants) {
-    const VariantBaseline* cv = nullptr;
-    for (const auto& v : current.variants) {
-      if (v.variant == bv.variant) {
-        cv = &v;
-        break;
+  auto compare_section = [&rep](const std::vector<VariantBaseline>& base_sec,
+                                const std::vector<VariantBaseline>& cur_sec,
+                                const char* kind) {
+    for (const auto& bv : base_sec) {
+      const VariantBaseline* cv = nullptr;
+      for (const auto& v : cur_sec) {
+        if (v.variant == bv.variant) {
+          cv = &v;
+          break;
+        }
       }
-    }
-    if (cv == nullptr) {
-      rep.notes.push_back("variant '" + bv.variant +
-                          "' missing from the current run");
-      continue;
-    }
-    for (const auto& m : bv.metrics) {
-      bool found = false;
-      const double cur = metric_or_throw(*cv, m.name, &found);
-      if (!found) {
-        rep.notes.push_back("metric '" + bv.variant + "." + m.name +
+      if (cv == nullptr) {
+        rep.notes.push_back(std::string(kind) + " '" + bv.variant +
                             "' missing from the current run");
         continue;
       }
-      MetricDelta d;
-      d.variant = bv.variant;
-      d.metric = m.name;
-      d.baseline = m.value;
-      d.current = cur;
-      const double denom = std::abs(m.value);
-      d.rel_change = denom > 0.0 ? (cur - m.value) / denom
-                                 : (cur == m.value ? 0.0 : 1.0);
-      const MetricPolicy pol = policy_for(m.name);
-      const double drift = pol.lower_is_better ? cur - m.value : m.value - cur;
-      if (drift > pol.rel_tol * denom + pol.abs_floor) {
-        d.regression = true;
-      } else if (-drift > pol.rel_tol * denom + pol.abs_floor) {
-        d.improvement = true;
+      for (const auto& m : bv.metrics) {
+        bool found = false;
+        const double cur = metric_or_throw(*cv, m.name, &found);
+        if (!found) {
+          rep.notes.push_back("metric '" + bv.variant + "." + m.name +
+                              "' missing from the current run");
+          continue;
+        }
+        MetricDelta d;
+        d.variant = bv.variant;
+        d.metric = m.name;
+        d.baseline = m.value;
+        d.current = cur;
+        const double denom = std::abs(m.value);
+        d.rel_change = denom > 0.0 ? (cur - m.value) / denom
+                                   : (cur == m.value ? 0.0 : 1.0);
+        const MetricPolicy pol = policy_for(m.name);
+        const double drift =
+            pol.lower_is_better ? cur - m.value : m.value - cur;
+        if (drift > pol.rel_tol * denom + pol.abs_floor) {
+          d.regression = true;
+        } else if (-drift > pol.rel_tol * denom + pol.abs_floor) {
+          d.improvement = true;
+        }
+        rep.deltas.push_back(std::move(d));
       }
-      rep.deltas.push_back(std::move(d));
     }
-  }
+  };
+  compare_section(base.variants, current.variants, "variant");
+  compare_section(base.scaling, current.scaling, "scaling point");
   return rep;
 }
 

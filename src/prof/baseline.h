@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/core/run.h"
+#include "src/net/parallel.h"
 #include "src/obs/json.h"
 #include "src/sim/config.h"
 
@@ -23,7 +24,13 @@ namespace smd::prof {
 
 /// Baseline file layout version (independent of core::kBenchSchemaVersion,
 /// which the file also records for provenance).
-inline constexpr int kBaselineSchemaVersion = 1;
+/// History:
+///   1  per-variant single-node metrics
+///   2  adds the "scaling" section: per-node-count parallel decomposition
+///      metrics (step_ns, bucket node-times, efficiency, imbalance, halo)
+///      captured from the multi-node ledger model; v1 files still load
+///      (their scaling section is simply empty).
+inline constexpr int kBaselineSchemaVersion = 2;
 
 /// How to judge one metric's drift.
 struct MetricPolicy {
@@ -55,11 +62,18 @@ struct Baseline {
   std::string sdr_policy;
   double peak_gflops = 0.0;
   std::vector<VariantBaseline> variants;
+  /// Multi-node scaling decomposition, one entry per node count (named
+  /// "p=<nodes>"); empty when loaded from a schema-v1 file.
+  std::vector<VariantBaseline> scaling;
 
   /// Deterministic metric snapshot of a full run_all_variants() result.
   static Baseline capture(const std::vector<core::VariantResult>& results,
                           const core::ExperimentSetup& setup,
                           const sim::MachineConfig& cfg);
+
+  /// Append scaling metrics (the multi-node model is deterministic, so
+  /// these are byte-stable like the single-node metrics).
+  void capture_scaling(const std::vector<net::StepBreakdown>& breakdowns);
 
   obs::Json to_json() const;
   /// Throws std::runtime_error on an unrecognized schema_version.

@@ -1,7 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+
 #include "src/net/multinode.h"
+#include "src/net/parallel.h"
 #include "src/net/topology.h"
+#include "src/obs/trace_event.h"
 
 namespace smd::net {
 namespace {
@@ -55,6 +62,155 @@ TEST(Topology, BisectionScalesLinearly) {
   EXPECT_DOUBLE_EQ(topo.bisection_gbytes(64), 2.0 * topo.bisection_gbytes(32));
 }
 
+TEST(Topology, NodeInjectionBandwidth) {
+  // 4 routers x 2 channels x 2.5 GB/s = 20 GB/s per node (paper 2.3).
+  const NetworkConfig cfg;
+  EXPECT_DOUBLE_EQ(cfg.node_injection_gbytes(), 20.0);
+  NetworkConfig half = cfg;
+  half.channels_per_node_per_router = 1;
+  EXPECT_DOUBLE_EQ(half.node_injection_gbytes(), 10.0);
+}
+
+TEST(Topology, MaxNodesArithmetic) {
+  NetworkConfig cfg;
+  cfg.nodes_per_board = 8;
+  cfg.boards_per_backplane = 4;
+  cfg.backplanes_per_system = 3;
+  EXPECT_EQ(cfg.nodes_per_backplane(), 32);
+  EXPECT_EQ(cfg.max_nodes(), 96);
+}
+
+TEST(Topology, TierLatencySelection) {
+  // Per-tier latency is the sum of its hop and wire terms; pin the exact
+  // arithmetic so a topology change cannot silently re-cost a tier.
+  const NetworkConfig cfg;
+  const Topology topo{cfg};
+  EXPECT_DOUBLE_EQ(topo.route(0, 0).latency_ns, 0.0);
+  EXPECT_DOUBLE_EQ(topo.route(0, 1).latency_ns,
+                   cfg.router_latency_ns + 2 * cfg.board_wire_ns);
+  EXPECT_DOUBLE_EQ(topo.route(0, 16).latency_ns,
+                   3 * cfg.router_latency_ns + 2 * cfg.board_wire_ns +
+                       2 * cfg.backplane_wire_ns);
+  EXPECT_DOUBLE_EQ(topo.route(0, 512).latency_ns,
+                   5 * cfg.router_latency_ns + 2 * cfg.board_wire_ns +
+                       2 * cfg.backplane_wire_ns + 2 * cfg.optics_ns);
+}
+
+TEST(Topology, LatencyMonotoneWithDistance) {
+  // Walking away from node 0 only ever climbs tiers, so the unloaded
+  // latency is non-decreasing in node distance.
+  const Topology topo{NetworkConfig{}};
+  double prev = 0.0;
+  for (std::int64_t dst = 1; dst < 2048; dst = dst * 2 + 1) {
+    const double lat = topo.route(0, dst).latency_ns;
+    EXPECT_GE(lat, prev) << "dst " << dst;
+    prev = lat;
+  }
+}
+
+// ---- Per-node decomposition (src/net/parallel.h). ------------------------
+
+TEST(Parallel, GridFactorsNearCubic) {
+  EXPECT_EQ(decomposition_grid(1).nodes(), 1);
+  const DecompositionGrid g64 = decomposition_grid(64);
+  EXPECT_EQ(g64.nx, 4);
+  EXPECT_EQ(g64.ny, 4);
+  EXPECT_EQ(g64.nz, 4);
+  const DecompositionGrid g12 = decomposition_grid(12);
+  EXPECT_EQ(g12.nodes(), 12);
+  EXPECT_EQ(g12.nx + g12.ny + g12.nz, 2 + 2 + 3);
+  // Primes degrade to slabs -- the non-cubic regime.
+  const DecompositionGrid g7 = decomposition_grid(7);
+  EXPECT_EQ(g7.nx, 1);
+  EXPECT_EQ(g7.ny, 1);
+  EXPECT_EQ(g7.nz, 7);
+}
+
+TEST(Parallel, LedgersTileTheStepExactly) {
+  const ScalingWorkload w;
+  const Topology topo{NetworkConfig{}};
+  for (const std::int64_t nodes : {1, 2, 3, 7, 8, 16, 60, 64}) {
+    const StepBreakdown b = simulate_step(w, topo, nodes);
+    ASSERT_EQ(b.ledgers.size(), static_cast<std::size_t>(nodes));
+    std::int64_t owned = 0;
+    std::uint64_t max_busy = 0;
+    for (const auto& ledger : b.ledgers) {
+      EXPECT_EQ(ledger.total_ns(), b.step_ns)
+          << "P=" << nodes << " node " << ledger.node;
+      owned += ledger.molecules;
+      max_busy = std::max(max_busy, ledger.busy_ns());
+    }
+    EXPECT_EQ(owned, w.n_molecules) << "P=" << nodes;
+    EXPECT_EQ(max_busy, b.step_ns) << "P=" << nodes;
+    EXPECT_EQ(b.ledgers[static_cast<std::size_t>(b.critical_node)].busy_ns(),
+              max_busy);
+    EXPECT_GE(b.imbalance_ratio, 0.0);
+  }
+}
+
+TEST(Parallel, DeterministicAcrossCalls) {
+  const ScalingWorkload w;
+  const Topology topo{NetworkConfig{}};
+  const StepBreakdown a = simulate_step(w, topo, 16);
+  const StepBreakdown b = simulate_step(w, topo, 16);
+  ASSERT_EQ(a.ledgers.size(), b.ledgers.size());
+  EXPECT_EQ(a.step_ns, b.step_ns);
+  for (std::size_t i = 0; i < a.ledgers.size(); ++i) {
+    EXPECT_EQ(a.ledgers[i].molecules, b.ledgers[i].molecules);
+    EXPECT_EQ(a.ledgers[i].busy_ns(), b.ledgers[i].busy_ns());
+  }
+}
+
+TEST(Parallel, LoadJitterSpreadsTheBarrier) {
+  // With jitter the slowest node defines the step and everyone else
+  // accrues barrier wait; with jitter off and a molecule count divisible
+  // by P the waits collapse to rounding noise.
+  ScalingWorkload jittered;
+  jittered.n_molecules = 115200;
+  const Topology topo{NetworkConfig{}};
+  const StepBreakdown b = simulate_step(jittered, topo, 8);
+  std::uint64_t waits = 0;
+  for (const auto& ledger : b.ledgers) waits += ledger.imbalance_wait_ns;
+  EXPECT_GT(waits, 0u);
+  EXPECT_GT(b.imbalance_ratio, 0.0);
+
+  ScalingWorkload flat = jittered;
+  flat.load_jitter = 0.0;
+  const StepBreakdown f = simulate_step(flat, topo, 8);
+  EXPECT_LT(f.imbalance_ratio, b.imbalance_ratio);
+}
+
+TEST(Parallel, HaloTierFollowsTheGrid) {
+  // 64 nodes = 4x4x4: a z-step is 16 ids, so every node's halo crosses at
+  // least the backplane while x-neighbors stay cheaper tiers.
+  const ScalingWorkload w;
+  const Topology topo{NetworkConfig{}};
+  const StepBreakdown b = simulate_step(w, topo, 64);
+  for (const auto& ledger : b.ledgers) {
+    EXPECT_GE(ledger.tier, Tier::kBackplane) << "node " << ledger.node;
+  }
+  // 2 nodes stay on one board.
+  const StepBreakdown b2 = simulate_step(w, topo, 2);
+  for (const auto& ledger : b2.ledgers) {
+    EXPECT_EQ(ledger.tier, Tier::kBoard);
+  }
+}
+
+TEST(Parallel, TraceExportCarriesOneLanePerNode) {
+  const ScalingWorkload w;
+  const Topology topo{NetworkConfig{}};
+  obs::TraceSink sink;
+  append_trace(simulate_step(w, topo, 8), sink);
+  EXPECT_GT(sink.size(), 8u);  // >= one slice per node
+  const obs::Json j = sink.chrome_json();
+  EXPECT_EQ(j.at("schema_version").as_int(), obs::kTraceSchemaVersion);
+  // Slices per node must tile [0, step): sum of durations == step for the
+  // busiest node and every slice belongs to pid 8.
+  for (const obs::Json& ev : j.at("traceEvents").elements()) {
+    EXPECT_EQ(ev.at("pid").as_int(), 8);
+  }
+}
+
 TEST(Scaling, SingleNodeMatchesCalibration) {
   ScalingWorkload w;
   const ScalingModel model(w, NetworkConfig{});
@@ -94,6 +250,95 @@ TEST(Scaling, HaloFractionShrinksWithSubdomainSize) {
   large.n_molecules = 115200;
   const ScalingModel model(large, NetworkConfig{});
   EXPECT_LT(model.at(8).halo_fraction, model.at(64).halo_fraction);
+}
+
+// ---- Edge cases the scalar model mishandled. -----------------------------
+
+TEST(Scaling, RejectsNonPositiveNodeCounts) {
+  const ScalingModel model(ScalingWorkload{}, NetworkConfig{});
+  EXPECT_THROW(model.at(0), std::invalid_argument);
+  EXPECT_THROW(model.at(-4), std::invalid_argument);
+}
+
+TEST(Scaling, DiagnosesNodeCountsBeyondTheMachine) {
+  const NetworkConfig cfg;
+  const ScalingModel model(ScalingWorkload{}, cfg);
+  EXPECT_NO_THROW(model.at(cfg.max_nodes()));
+  try {
+    (void)model.at(cfg.max_nodes() + 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("max_nodes"), std::string::npos);
+  }
+}
+
+TEST(Scaling, DegenerateWorkloadStaysFinite) {
+  // Zero molecules -> zero interactions -> a zero-length step. The old
+  // closed form divided by the zero base step; now speedup pins to 1 and
+  // efficiency to 1/P, both finite.
+  ScalingWorkload empty;
+  empty.n_molecules = 0;
+  const ScalingModel model(empty, NetworkConfig{});
+  for (const std::int64_t nodes : {1, 2, 16}) {
+    const ScalingPoint p = model.at(nodes);
+    EXPECT_EQ(p.step_s, 0.0);
+    EXPECT_TRUE(std::isfinite(p.speedup));
+    EXPECT_TRUE(std::isfinite(p.efficiency));
+    EXPECT_TRUE(std::isfinite(p.halo_fraction));
+    EXPECT_DOUBLE_EQ(p.speedup, 1.0);
+  }
+}
+
+TEST(Scaling, MoreNodesThanMolecules) {
+  // 16 molecules on 64 nodes: most nodes own nothing; the partition must
+  // still conserve molecules and keep every derived metric finite.
+  ScalingWorkload tiny;
+  tiny.n_molecules = 16;
+  const ScalingModel model(tiny, NetworkConfig{});
+  const StepBreakdown b = model.breakdown(64);
+  const std::int64_t owned = std::accumulate(
+      b.ledgers.begin(), b.ledgers.end(), std::int64_t{0},
+      [](std::int64_t acc, const NodeLedger& l) { return acc + l.molecules; });
+  EXPECT_EQ(owned, 16);
+  const ScalingPoint p = model.at(64);
+  EXPECT_TRUE(std::isfinite(p.efficiency));
+  EXPECT_GE(p.halo_fraction, 0.0);
+}
+
+TEST(Scaling, NonCubicHaloStaysClamped) {
+  // Prime node counts decompose to slabs; the halo can never replicate
+  // more than the rest of the box no matter how thin the slab gets.
+  ScalingWorkload w;
+  w.n_molecules = 4000;
+  const ScalingModel model(w, NetworkConfig{});
+  for (const std::int64_t nodes : {3, 7, 13, 31}) {
+    const StepBreakdown b = model.breakdown(nodes);
+    for (const auto& ledger : b.ledgers) {
+      EXPECT_GE(ledger.halo_molecules, 0.0);
+      EXPECT_LE(ledger.halo_molecules,
+                static_cast<double>(w.n_molecules - ledger.molecules) + 1e-9)
+          << "P=" << nodes << " node " << ledger.node;
+    }
+    EXPECT_LE(b.halo_fraction,
+              static_cast<double>(nodes));  // bounded by replication limit
+  }
+}
+
+TEST(Scaling, PointAggregatesMatchTheBreakdown) {
+  ScalingWorkload w;
+  w.n_molecules = 7200;
+  const ScalingModel model(w, NetworkConfig{});
+  const ScalingPoint p = model.at(8);
+  const StepBreakdown b = model.breakdown(8);
+  EXPECT_DOUBLE_EQ(p.step_s, static_cast<double>(b.step_ns) * 1e-9);
+  EXPECT_EQ(p.critical_node, b.critical_node);
+  EXPECT_DOUBLE_EQ(p.imbalance_ratio, b.imbalance_ratio);
+  const auto& crit = b.ledgers[static_cast<std::size_t>(b.critical_node)];
+  EXPECT_DOUBLE_EQ(p.compute_s, static_cast<double>(crit.compute_ns) * 1e-9);
+  EXPECT_DOUBLE_EQ(
+      p.network_s,
+      static_cast<double>(crit.halo_gather_ns + crit.force_scatter_ns) *
+          1e-9);
 }
 
 }  // namespace

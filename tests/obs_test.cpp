@@ -229,6 +229,8 @@ TEST(TraceSink, ChromeJsonParsesBack) {
 
   const Json doc = Json::parse(sink.chrome_json().dump(2));
   EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ns");
+  // Trace files carry the same schema versioning as --json bench records.
+  EXPECT_EQ(doc.at("schema_version").as_int(), kTraceSchemaVersion);
   const Json& evs = doc.at("traceEvents");
   int n_meta = 0, n_slices = 0;
   for (const Json& e : evs.elements()) {
