@@ -10,10 +10,14 @@
 #
 # Each preset also runs `smdcheck --all` (the static verifier over every
 # built-in kernel, stream program and blocking scheme — see DESIGN.md
-# "Static checking") and `smdtune --paper --jobs 4` (the parallel
-# design-space search reproducing the paper's tuned points — see
-# EXPERIMENTS.md "Design-space exploration"). clang-tidy runs once over
-# src/ when available.
+# "Static checking"), `smdcheck --dataflow --all` (exact liveness
+# pressure vs. the dynamic replay oracle), the optimizer equivalence
+# sweep (bit-identity of optimized kernels, DESIGN.md section 12) and
+# `smdtune --paper --jobs 4` (the parallel design-space search
+# reproducing the paper's tuned points — see EXPERIMENTS.md
+# "Design-space exploration"). clang-tidy, when available, gates
+# src/analysis and src/kernel (warnings as errors; escape hatch
+# SMD_TIDY_NO_GATE=1) and advises on the rest of src/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,9 +41,19 @@ for preset in "${presets[@]}"; do
     # divergence is named in the log even when other tests also fail.
     echo "==== lockstep engine cross-check (${preset}) ===="
     ctest --preset "${preset}" -R lockstep_test --output-on-failure
+    # Optimizer equivalence gate (DESIGN.md section 12): the verified
+    # optimizer's output must be bit-identical to its input -- full
+    # lockstep sweep over the Table-3 variants plus the naive kernel
+    # under both SDR policies, interp-level sweeps, and the randomized
+    # optimize-then-reverify property. A hard gate: optimizer changes do
+    # not land unless this passes under both presets.
+    echo "==== optimizer equivalence sweep (${preset}) ===="
+    ctest --preset "${preset}" -R opt_equivalence_test --output-on-failure
   fi
   echo "==== smdcheck --all (${preset}) ===="
   "${build_dir[${preset}]}/examples/smdcheck" --all
+  echo "==== smdcheck --dataflow --all (${preset}) ===="
+  "${build_dir[${preset}]}/examples/smdcheck" --dataflow --all
   echo "==== smdtune --paper --jobs 4 (${preset}) ===="
   "${build_dir[${preset}]}/examples/smdtune" --paper --jobs 4 --molecules 256
   if [ "${preset}" = default ] || [ "${preset}" = asan-ubsan ]; then
@@ -64,12 +78,29 @@ for preset in "${presets[@]}"; do
 done
 
 if command -v clang-tidy >/dev/null 2>&1; then
-  echo "==== clang-tidy ===="
   tidy_build=${build_dir[${presets[0]}]}
   if [ ! -f "${tidy_build}/compile_commands.json" ]; then
     cmake --preset "${presets[0]}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
   fi
-  find src -name '*.cpp' -print0 |
+  # Gating lint over the static-analysis surface itself: src/analysis and
+  # src/kernel must be clean under the pinned .clang-tidy check set, with
+  # every warning promoted to an error. Escape hatch (emergencies or
+  # clang-tidy version skew only — fix the findings, don't live with it):
+  #
+  #   SMD_TIDY_NO_GATE=1 scripts/check.sh   # demote the gate to advisory
+  echo "==== clang-tidy (gating: src/analysis src/kernel) ===="
+  if [ "${SMD_TIDY_NO_GATE:-0}" = 1 ]; then
+    echo "(SMD_TIDY_NO_GATE=1: gate demoted to advisory)"
+    find src/analysis src/kernel -name '*.cpp' -print0 |
+      xargs -0 -P "$(nproc)" -n 4 clang-tidy -p "${tidy_build}" --quiet || true
+  else
+    find src/analysis src/kernel -name '*.cpp' -print0 |
+      xargs -0 -P "$(nproc)" -n 4 clang-tidy -p "${tidy_build}" --quiet \
+        --warnings-as-errors='*'
+  fi
+  echo "==== clang-tidy (advisory: rest of src/) ===="
+  find src -path src/analysis -prune -o -path src/kernel -prune -o \
+      -name '*.cpp' -print0 |
     xargs -0 -P "$(nproc)" -n 8 clang-tidy -p "${tidy_build}" --quiet
 else
   echo "==== clang-tidy not found; skipping lint ===="

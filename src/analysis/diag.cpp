@@ -1,5 +1,8 @@
 #include "src/analysis/diag.h"
 
+#include <algorithm>
+#include <tuple>
+
 #include "src/obs/registry.h"
 
 namespace smd::analysis {
@@ -50,10 +53,24 @@ int Diagnostics::count(const std::string& id) const {
   return n;
 }
 
+std::vector<const Diagnostic*> Diagnostics::sorted() const {
+  std::vector<const Diagnostic*> view;
+  view.reserve(diags_.size());
+  for (const auto& d : diags_) view.push_back(&d);
+  std::stable_sort(view.begin(), view.end(),
+                   [](const Diagnostic* a, const Diagnostic* b) {
+                     return std::tie(a->loc.unit, a->loc.section, a->loc.index,
+                                     a->id) < std::tie(b->loc.unit,
+                                                       b->loc.section,
+                                                       b->loc.index, b->id);
+                   });
+  return view;
+}
+
 std::string Diagnostics::format() const {
   std::string out;
-  for (const auto& d : diags_) {
-    out += d.str();
+  for (const Diagnostic* d : sorted()) {
+    out += d->str();
     out += '\n';
   }
   return out;
@@ -64,7 +81,8 @@ obs::Json Diagnostics::to_json() const {
   root.set("errors", n_errors_);
   root.set("warnings", n_warnings_);
   obs::Json list = obs::Json::array();
-  for (const auto& d : diags_) {
+  for (const Diagnostic* dp : sorted()) {
+    const Diagnostic& d = *dp;
     obs::Json j = obs::Json::object();
     j.set("id", d.id);
     j.set("severity", severity_name(d.severity));
@@ -84,6 +102,22 @@ void Diagnostics::count_into_registry(const std::string& prefix) const {
   if (n_errors_ > 0) reg.add(prefix + ".errors", n_errors_);
   if (n_warnings_ > 0) reg.add(prefix + ".warnings", n_warnings_);
   for (const auto& d : diags_) reg.add(prefix + "." + d.id);
+}
+
+std::vector<std::string> known_check_ids() {
+  std::vector<std::string> ids;
+  auto family = [&](const char* prefix, int first, int last) {
+    for (int n = first; n <= last; ++n) {
+      std::string num = std::to_string(n);
+      while (num.size() < 3) num.insert(num.begin(), '0');
+      ids.push_back(prefix + num);
+    }
+  };
+  family("IR", 1, 24);
+  family("SP", 1, 16);
+  family("MC", 1, 15);
+  ids.push_back("MC106");  // one-SDR-overlap warning, variant of MC006
+  return ids;
 }
 
 CheckFailure::CheckFailure(Diagnostics diags)

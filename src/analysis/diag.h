@@ -74,12 +74,20 @@ class Diagnostics {
   /// Number of diagnostics carrying the given check ID.
   int count(const std::string& id) const;
 
-  /// One line per diagnostic; "" when empty.
+  /// One line per diagnostic; "" when empty. Rendered in the deterministic
+  /// (unit, section, index, id) order of sorted() so output is byte-stable
+  /// regardless of pass-internal iteration order.
   std::string format() const;
 
   /// {"errors": n, "warnings": n, "diagnostics": [{id, severity, unit,
-  ///  section, index, message}, ...]}
+  ///  section, index, message}, ...]} -- same deterministic order as
+  /// format().
   obs::Json to_json() const;
+
+  /// Deterministic render order: stable-sorted by unit, then section, then
+  /// instruction index, then check ID (ties keep insertion order). all()
+  /// keeps raw insertion order for callers that care about pass order.
+  std::vector<const Diagnostic*> sorted() const;
 
   /// Bump `<prefix>.errors` / `<prefix>.warnings` counters plus one
   /// per-check counter `<prefix>.<id>` in the global telemetry registry.
@@ -90,6 +98,13 @@ class Diagnostics {
   int n_errors_ = 0;
   int n_warnings_ = 0;
 };
+
+/// Every check ID the analysis passes can emit, in catalogue order:
+/// IR001-IR024 (verify_ir.h), SP001-SP016 (check_stream.h), MC001-MC015 +
+/// MC106 (sim::MachineConfig::validate). The doc-drift guard test asserts
+/// this list matches the DESIGN.md catalogue one-to-one, so adding a check
+/// means extending this list AND the catalogue.
+std::vector<std::string> known_check_ids();
 
 /// Thrown by the require_* pre-flight entry points when a pass reports
 /// errors. Carries the full diagnostic list; what() is the formatted text.

@@ -7,6 +7,9 @@
 #include <utility>
 #include <vector>
 
+#include "src/analysis/dataflow.h"
+#include "src/kernel/cost.h"
+
 namespace smd::analysis {
 namespace {
 
@@ -15,16 +18,6 @@ using kernel::KernelDef;
 using kernel::Opcode;
 using kernel::StreamDecl;
 using kernel::StreamDir;
-
-const char* section_name(kernel::Section s) {
-  switch (s) {
-    case kernel::Section::kPrologue: return "prologue";
-    case kernel::Section::kOuterPre: return "outer_pre";
-    case kernel::Section::kBody: return "body";
-    case kernel::Section::kOuterPost: return "outer_post";
-  }
-  return "?";
-}
 
 bool is_stream_access(Opcode op) {
   return op == Opcode::kRead || op == Opcode::kReadCond ||
@@ -143,6 +136,7 @@ class Verifier {
     dataflow();
     stream_usage();
     pressure();
+    semantic();
     return std::move(out_);
   }
 
@@ -381,6 +375,156 @@ class Verifier {
     }
   }
 
+  /// Dataflow-backed precision checks IR017-IR024 (see dataflow.h). Only
+  /// runs when every earlier pass is error-free: the engine indexes
+  /// registers and sections directly, so it needs a structurally valid
+  /// kernel, and semantic refinements are pointless on broken IR anyway.
+  void semantic() {
+    if (!opts_.dataflow) return;
+    if (out_.errors() > 0 || def_.n_regs <= 0 || def_.block_len < 1) return;
+    const KernelDataflow dfa(def_);
+    const auto n = static_cast<std::size_t>(def_.n_regs);
+
+    // Registers read by at least one instruction: IR017 restricts itself
+    // to these, because a register never read anywhere is already IR012.
+    std::vector<bool> used_anywhere(n, false);
+    for (const auto& [sec, instrs] : sections_of(def_)) {
+      for (const Instr& in : *instrs) {
+        const InstrUses u = instr_uses(in);
+        for (int r : u.srcs) used_anywhere[static_cast<std::size_t>(r)] = true;
+        for (int r : u.merge_srcs) {
+          used_anywhere[static_cast<std::size_t>(r)] = true;
+        }
+        if (u.pred >= 0) used_anywhere[static_cast<std::size_t>(u.pred)] = true;
+      }
+    }
+
+    for (const auto& [sec, instrs] : sections_of(def_)) {
+      ConstEnv env = dfa.const_env_at_entry(sec);
+      for (std::size_t i = 0; i < instrs->size(); ++i) {
+        const Instr& in = (*instrs)[i];
+        const int idx = static_cast<int>(i);
+        const InstrEffects fx = instr_effects(in);
+        const Bitset& live = dfa.live_after(sec, idx);
+
+        if (!fx.stream && in.dst >= 0 && !live.test(in.dst) &&
+            used_anywhere[static_cast<std::size_t>(in.dst)]) {
+          const std::string msg =
+              std::string(opcode_name(in.op)) + " into register " +
+              std::to_string(in.dst) +
+              " is dead: the value is overwritten before any use";
+          if (in.op == Opcode::kConst) {
+            out_.note("IR017", at(sec, idx), msg + " (preloaded constant)");
+          } else {
+            out_.warn("IR017", at(sec, idx), msg);
+          }
+        }
+
+        if (in.op == Opcode::kRead || in.op == Opcode::kReadCond ||
+            in.op == Opcode::kReadBcast) {
+          bool any_live = false;
+          for (int w = 0; w < in.count; ++w) {
+            any_live = any_live || live.test(in.dst + w);
+          }
+          if (!any_live) {
+            out_.warn("IR021", at(sec, idx),
+                      std::string(opcode_name(in.op)) + " of " +
+                          std::to_string(in.count) + " words from stream '" +
+                          def_.streams[static_cast<std::size_t>(in.stream)]
+                              .name +
+                          "' whose destination words are never used "
+                          "(removable only together with the whole stream: "
+                          "dropping a single read desyncs the SRF cursor)");
+          }
+        }
+
+        if (!fx.stream && kernel::op_cost(in.op).fpu_slots > 0) {
+          bool all_const = true;
+          for (int r : fx.uses) {
+            all_const = all_const && env[static_cast<std::size_t>(r)].has_value();
+          }
+          if (all_const) {
+            const std::string msg =
+                std::string(opcode_name(in.op)) + " into register " +
+                std::to_string(in.dst) +
+                " has provably constant operands: foldable to a preloaded "
+                "constant";
+            if (sec == kernel::Section::kPrologue) {
+              out_.note("IR019", at(sec, idx),
+                        msg + " (prologue: cost paid once per launch)");
+            } else {
+              out_.warn("IR019", at(sec, idx), msg);
+            }
+          }
+        }
+
+        if (in.op == Opcode::kMov) {
+          DefSite site;
+          if (dfa.unique_reaching_def(sec, idx, in.a, &site) &&
+              site.instr >= 0 &&
+              section_instrs(def_, site.sec)[static_cast<std::size_t>(
+                  site.instr)].op == Opcode::kMov) {
+            out_.note("IR020", at(sec, idx),
+                      "copy chain: register " + std::to_string(in.a) +
+                          "'s unique reaching definition (" +
+                          section_name(site.sec) + "[" +
+                          std::to_string(site.instr) +
+                          "]) is itself a mov; the copy source could be "
+                          "forwarded");
+          }
+        }
+
+        if (in.op == Opcode::kReadCond && in.c >= in.dst &&
+            in.c < in.dst + in.count) {
+          out_.warn("IR023", at(sec, idx),
+                    "self-overwriting conditional read: predicate register " +
+                        std::to_string(in.c) +
+                        " lies inside the destination range [" +
+                        std::to_string(in.dst) + ", " +
+                        std::to_string(in.dst + in.count) +
+                        "); a taken access clobbers its own predicate");
+        }
+
+        if ((in.op == Opcode::kReadCond || in.op == Opcode::kWriteCond) &&
+            env[static_cast<std::size_t>(in.c)].has_value()) {
+          const double p = *env[static_cast<std::size_t>(in.c)];
+          out_.warn("IR024", at(sec, idx),
+                    std::string(opcode_name(in.op)) +
+                        " predicate register " + std::to_string(in.c) +
+                        " is provably the constant " + std::to_string(p) +
+                        ": the access is " +
+                        (p != 0.0 ? "always" : "never") +
+                        " taken and need not be conditional");
+        }
+
+        apply_const_transfer(in, env);
+      }
+    }
+
+    for (const Redundancy& r : dfa.redundancies()) {
+      const Instr& in =
+          section_instrs(def_, r.sec)[static_cast<std::size_t>(r.instr)];
+      const std::string msg =
+          std::string(opcode_name(in.op)) + " into register " +
+          std::to_string(in.dst) + " recomputes the value of " +
+          section_name(r.sec) + "[" + std::to_string(r.prior) +
+          "], still available in register " + std::to_string(r.holder);
+      if (r.free_op) {
+        out_.note("IR018", at(r.sec, r.instr), msg + " (free op)");
+      } else {
+        out_.warn("IR018", at(r.sec, r.instr), msg);
+      }
+    }
+
+    const int exact = dfa.max_live_pressure();
+    if (exact > opts_.lrf_words) {
+      out_.warn("IR022", {def_.name, "", -1},
+                "exact peak LRF live-pressure " + std::to_string(exact) +
+                    " registers exceeds the per-cluster capacity of " +
+                    std::to_string(opts_.lrf_words) + " words");
+    }
+  }
+
   const KernelDef& def_;
   const VerifyOptions& opts_;
   std::map<kernel::Section, std::vector<char>> valid_;
@@ -466,6 +610,10 @@ void require_valid_kernel(const kernel::KernelDef& def,
                           const VerifyOptions& opts) {
   VerifyOptions o = opts;
   o.report_pressure = false;
+  // The semantic checks (IR017-IR024) are warnings-only and cost a full
+  // dataflow fixpoint; this entry point runs on every Interpreter
+  // construction and schedule_body call, so skip them here.
+  o.dataflow = false;
   Diagnostics d = verify_kernel(def, o);
   d.count_into_registry("analysis.ir");
   if (d.errors() > 0) throw CheckFailure(std::move(d));

@@ -28,6 +28,31 @@
 //   IR014 (error)   block_len < 1
 //   IR015 (warning) peak LRF pressure exceeds the per-cluster LRF capacity
 //   IR016 (note)    per-kernel LRF pressure report (always emitted)
+//
+// Semantic checks backed by the worklist dataflow engine (dataflow.h);
+// gated by VerifyOptions::dataflow and skipped when earlier passes report
+// errors (the engine needs a structurally valid kernel):
+//   IR017 (warning) dead instruction: the result is overwritten before any
+//                   use at this program point (exact liveness; note when
+//                   the dead value is a kConst)
+//   IR018 (warning) redundant recomputation of a value still available in a
+//                   register (local value numbering; note when the
+//                   duplicate is a free kConst/kMov)
+//   IR019 (warning) arithmetic on provably constant operands: the result
+//                   could be folded to a preloaded constant (note in the
+//                   prologue, where the cost is paid once per launch)
+//   IR020 (note)    copy chain: a kMov whose unique reaching definition is
+//                   itself a kMov
+//   IR021 (warning) stream read none of whose destination words are ever
+//                   used (removable only together with its whole stream:
+//                   dropping a single read desyncs the SRF cursor)
+//   IR022 (warning) exact peak LRF live-pressure exceeds the per-cluster
+//                   LRF capacity (liveness-precise companion of the
+//                   interval-based IR015)
+//   IR023 (warning) self-overwriting conditional read: the predicate
+//                   register lies inside the read's own destination range
+//   IR024 (warning) conditional stream access whose predicate is provably
+//                   constant: the access is always or never taken
 #pragma once
 
 #include "src/analysis/diag.h"
@@ -40,6 +65,12 @@ struct VerifyOptions {
   int lrf_words = 768;
   /// Emit the IR016 pressure note (off for terse pre-flight use).
   bool report_pressure = true;
+  /// Run the dataflow-backed semantic checks IR017-IR024. On for
+  /// verify_kernel / smdcheck; off in the require_valid_kernel pre-flight,
+  /// which runs on every Interpreter construction and schedule_body call
+  /// (the semantic checks are warnings-only, so skipping them on the hot
+  /// path never hides an error).
+  bool dataflow = true;
 };
 
 /// Peak register pressure of a kernel: the maximum number of

@@ -39,6 +39,17 @@ kernel::KernelDef build_water_kernel(Variant variant,
 /// expanded kernel body). The paper quotes ~234 with 9 div + 9 sqrt.
 kernel::FlopCensus interaction_flops(const md::WaterModel& model);
 
+/// Deliberately inefficient twin of the expanded kernel, used to exercise
+/// and demonstrate the verified optimizer (kernel/opt.h): it computes the
+/// exact same per-pair forces through the same stream interface
+/// [c_pos, n_pos, pbc, f_c, f_n], but "computes" its immediates at runtime
+/// (constant-folding fodder), recomputes the first pair's distance vector
+/// (CSE fodder), carries a dead r^4 temporary (DCE fodder) and packs the
+/// force writes through two-step copy chains (copy-propagation fodder).
+/// optimize_kernel reduces it to the expanded kernel's cost; the lockstep
+/// equivalence sweep proves the rewrite is bit-identical.
+kernel::KernelDef build_expanded_naive_kernel(const md::WaterModel& model);
+
 /// Expanded-style kernel that additionally streams out the Equation-1
 /// energies (Coulomb, Lennard-Jones) per interaction -- GROMACS evaluates
 /// V_nb alongside forces on energy steps. Streams:

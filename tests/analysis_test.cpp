@@ -4,10 +4,16 @@
 // kernel variant, stream program and blocking scheme is lint-clean.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/analysis/check_stream.h"
+#include "src/analysis/dataflow.h"
 #include "src/analysis/diag.h"
 #include "src/analysis/verify_ir.h"
 #include "src/core/blocking.h"
@@ -220,6 +226,269 @@ TEST(VerifyIr, LrfPressureBeyondCapacityIsIR015) {
   ASSERT_NE(g, nullptr);
   EXPECT_EQ(g->severity, Severity::kWarning);
   EXPECT_NE(d.find("IR016"), nullptr);  // pressure report always present
+}
+
+// ---------------------------------------------------------------------------
+// Golden cases for the dataflow-backed semantic checks IR017-IR024.
+// ---------------------------------------------------------------------------
+
+TEST(VerifyIr, DeadOverwrittenDefinitionIsIR017) {
+  KernelDef k = skeleton();
+  // r2 is defined at body[1], overwritten at body[2] before any use, and
+  // the second definition IS consumed -- so this is IR017 (dead instance
+  // of a used register), not IR012 (never-read register).
+  k.body.insert(k.body.begin() + 1,
+                Instr{Opcode::kAdd, /*dst=*/2, /*a=*/0, /*b=*/0});
+  k.body.insert(k.body.begin() + 2,
+                Instr{Opcode::kSub, /*dst=*/2, /*a=*/0, /*b=*/0});
+  k.body.back().a = 2;  // write r2
+  const Diagnostics d = analysis::verify_kernel(k);
+  const Diagnostic* g = expect_diag(d, "IR017");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kWarning);
+  EXPECT_EQ(g->loc.str(), "malformed:body[1]");
+}
+
+TEST(VerifyIr, RedundantRecomputationIsIR018) {
+  KernelDef k = skeleton();
+  k.n_regs = 16;
+  k.body.insert(k.body.begin() + 1,
+                Instr{Opcode::kAdd, /*dst=*/2, /*a=*/0, /*b=*/0});
+  k.body.insert(k.body.begin() + 2,
+                Instr{Opcode::kAdd, /*dst=*/3, /*a=*/0, /*b=*/0});  // dup
+  k.body.insert(k.body.begin() + 3,
+                Instr{Opcode::kMul, /*dst=*/4, /*a=*/2, /*b=*/3});
+  k.body.back().a = 4;
+  const Diagnostics d = analysis::verify_kernel(k);
+  const Diagnostic* g = expect_diag(d, "IR018");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kWarning);  // costs an FPU slot
+  EXPECT_EQ(g->loc.str(), "malformed:body[2]");
+  // The message names the register still holding the value.
+  EXPECT_NE(g->message.find("register 2"), std::string::npos) << g->message;
+}
+
+TEST(VerifyIr, ConstantFoldableOpIsIR019) {
+  KernelDef k = skeleton();
+  Instr cst{Opcode::kConst, /*dst=*/1};
+  cst.imm = 2.0;
+  k.body.insert(k.body.begin() + 1, cst);
+  k.body.insert(k.body.begin() + 2,
+                Instr{Opcode::kAdd, /*dst=*/2, /*a=*/1, /*b=*/1});
+  k.body.back().a = 2;
+  const Diagnostics d = analysis::verify_kernel(k);
+  const Diagnostic* g = expect_diag(d, "IR019");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kWarning);  // in the body: paid per iter
+  EXPECT_EQ(g->loc.str(), "malformed:body[2]");
+}
+
+TEST(VerifyIr, CopyOfCopyIsIR020) {
+  KernelDef k = skeleton();
+  k.body.insert(k.body.begin() + 1,
+                Instr{Opcode::kMov, /*dst=*/1, /*a=*/0});
+  k.body.insert(k.body.begin() + 2,
+                Instr{Opcode::kMov, /*dst=*/2, /*a=*/1});  // copy of a copy
+  k.body.back().a = 2;
+  const Diagnostics d = analysis::verify_kernel(k);
+  const Diagnostic* g = expect_diag(d, "IR020");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kNote);
+  EXPECT_EQ(g->loc.str(), "malformed:body[2]");
+  EXPECT_EQ(d.warnings(), 0) << d.format();  // note-only lint
+}
+
+TEST(VerifyIr, StreamReadWhoseWordsAreNeverUsedIsIR021) {
+  KernelDef k = skeleton();
+  k.streams.push_back({"junk", StreamDir::kIn, 2, false});
+  k.body.insert(k.body.begin() + 1,
+                Instr{Opcode::kRead, /*dst=*/4, -1, -1, -1, /*stream=*/2, 2});
+  const Diagnostics d = analysis::verify_kernel(k);
+  const Diagnostic* g = expect_diag(d, "IR021");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kWarning);
+  EXPECT_EQ(g->loc.str(), "malformed:body[1]");
+}
+
+TEST(VerifyIr, ExactLivenessPressureBeyondLrfIsIR022) {
+  // Same shape as the IR015 interval-pressure case: six sums live at once
+  // against a 4-word bound. The exact-liveness count must agree.
+  KernelDef k = skeleton();
+  analysis::VerifyOptions opts;
+  opts.lrf_words = 4;
+  for (int r = 1; r <= 6; ++r) {
+    k.body.insert(k.body.begin() + 1,
+                  Instr{Opcode::kAdd, /*dst=*/r, /*a=*/0, /*b=*/0});
+  }
+  Instr sum{Opcode::kAdd, /*dst=*/7, /*a=*/1, /*b=*/2};
+  k.body.insert(k.body.end() - 1, sum);
+  for (int r = 3; r <= 6; ++r) {
+    k.body.insert(k.body.end() - 1,
+                  Instr{Opcode::kAdd, /*dst=*/7, /*a=*/7, /*b=*/r});
+  }
+  k.body.back().a = 7;
+  const Diagnostics d = analysis::verify_kernel(k, opts);
+  const Diagnostic* g = expect_diag(d, "IR022");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kWarning);
+}
+
+TEST(VerifyIr, ConditionalReadOverwritingItsOwnPredicateIsIR023) {
+  KernelDef k = skeleton();
+  k.streams[0].conditional = true;
+  k.prologue.push_back({Opcode::kConst, /*dst=*/0});
+  // Predicate r0 lies inside the destination range [0, 1): a taken read
+  // destroys the predicate the untaken clusters still carry.
+  k.body[0] = {Opcode::kReadCond, /*dst=*/0, -1, -1, /*c=*/0, /*stream=*/0, 1};
+  const Diagnostics d = analysis::verify_kernel(k);
+  const Diagnostic* g = expect_diag(d, "IR023");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kWarning);
+  EXPECT_EQ(g->loc.str(), "malformed:body[0]");
+}
+
+TEST(VerifyIr, ProvablyConstantPredicateIsIR024) {
+  KernelDef k = skeleton();
+  k.streams[0].conditional = true;
+  Instr pred{Opcode::kConst, /*dst=*/4};
+  pred.imm = 1.0;
+  k.prologue.push_back(pred);
+  k.body[0] = {Opcode::kReadCond, /*dst=*/0, -1, -1, /*c=*/4, /*stream=*/0, 1};
+  const Diagnostics d = analysis::verify_kernel(k);
+  const Diagnostic* g = expect_diag(d, "IR024");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, Severity::kWarning);
+  EXPECT_NE(g->message.find("always"), std::string::npos) << g->message;
+}
+
+// ---------------------------------------------------------------------------
+// Dataflow engine unit tests: the semantics the checks above rely on.
+// ---------------------------------------------------------------------------
+
+TEST(Dataflow, RegistersStartAsConstantZero) {
+  // r3 is never defined anywhere; the interpreter zero-initializes, so the
+  // lattice must carry it as the constant 0.0 in every section.
+  KernelDef k = skeleton();
+  const analysis::KernelDataflow dfa(k);
+  for (const kernel::Section s : analysis::kSectionOrder) {
+    const analysis::ConstEnv& env = dfa.const_env_at_entry(s);
+    ASSERT_TRUE(env[3].has_value());
+    EXPECT_EQ(*env[3], 0.0);
+  }
+}
+
+TEST(Dataflow, ConditionalReadIsAPartialKill) {
+  KernelDef k = skeleton();
+  k.streams[0].conditional = true;
+  k.prologue.push_back({Opcode::kConst, /*dst=*/4});
+  k.prologue.push_back({Opcode::kConst, /*dst=*/0});  // prior def of r0
+  k.body[0] = {Opcode::kReadCond, /*dst=*/0, -1, -1, /*c=*/4, /*stream=*/0, 1};
+  const analysis::KernelDataflow dfa(k);
+  // Both the prologue kConst and the conditional read reach the write at
+  // body[1]: untaken clusters keep the old value.
+  const auto defs =
+      dfa.reaching_defs(kernel::Section::kBody, /*idx=*/1, /*reg=*/0);
+  EXPECT_GE(defs.size(), 2u);
+  // And the read's destination must be live BEFORE the read (merge use).
+  EXPECT_TRUE(dfa.live_before(kernel::Section::kBody, 0).test(0));
+}
+
+TEST(Dataflow, RoundsBackEdgeDefeatsBodyConstants) {
+  // r2 = r2 + 1 in the body: constant 1.0 on the first iteration, but the
+  // back edge (body -> outer_post -> outer_pre -> body) feeds the sum back
+  // around, so the lattice must NOT call it constant.
+  KernelDef k = skeleton();
+  Instr one{Opcode::kConst, /*dst=*/1};
+  one.imm = 1.0;
+  k.prologue.push_back(one);
+  k.body.insert(k.body.begin() + 1,
+                Instr{Opcode::kAdd, /*dst=*/2, /*a=*/2, /*b=*/1});
+  k.body.back().a = 2;
+  const analysis::KernelDataflow dfa(k);
+  analysis::ConstEnv env = dfa.const_env_at_entry(kernel::Section::kBody);
+  EXPECT_FALSE(env[2].has_value());
+  const Diagnostics d = analysis::verify_kernel(k);
+  EXPECT_EQ(d.find("IR019"), nullptr) << d.format();
+}
+
+TEST(Dataflow, LiveRangesAndPressureOnAStraightLineBody) {
+  // read r0; r1 = r0+r0; r2 = r1+r0; write r2 -- peak 2 live registers
+  // (r0+r1 between the adds).
+  KernelDef k = skeleton();
+  k.body.insert(k.body.begin() + 1,
+                Instr{Opcode::kAdd, /*dst=*/1, /*a=*/0, /*b=*/0});
+  k.body.insert(k.body.begin() + 2,
+                Instr{Opcode::kAdd, /*dst=*/2, /*a=*/1, /*b=*/0});
+  k.body.back().a = 2;
+  const analysis::KernelDataflow dfa(k);
+  EXPECT_EQ(dfa.max_live_pressure(), 2);
+  EXPECT_EQ(dfa.max_live_pressure(), analysis::dynamic_lrf_pressure(k));
+  const auto ranges = dfa.live_ranges();
+  // Exactly r0, r1, r2 are ever live.
+  EXPECT_EQ(ranges.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic diagnostics ordering (golden).
+// ---------------------------------------------------------------------------
+
+TEST(Diag, RenderOrderIsDeterministicRegardlessOfInsertion) {
+  Diagnostics d;
+  // Inserted deliberately out of (unit, section, index, id) order.
+  d.warn("IR018", {"zeta", "body", 4}, "later unit");
+  d.error("IR003", {"alpha", "body", 2}, "alpha body two");
+  d.note("IR016", {"alpha", "prologue", 0}, "alpha prologue");
+  d.warn("IR012", {"alpha", "body", 2}, "alpha body two, lower id");
+  // Ties on (unit, section, index) break on the check ID's lexicographic
+  // order: IR003 < IR012.
+  const std::string golden =
+      "error IR003 at alpha:body[2]: alpha body two\n"
+      "warning IR012 at alpha:body[2]: alpha body two, lower id\n"
+      "note IR016 at alpha:prologue[0]: alpha prologue\n"
+      "warning IR018 at zeta:body[4]: later unit\n";
+  EXPECT_EQ(d.format(), golden);
+  // all() preserves insertion order for pass-order consumers.
+  EXPECT_EQ(d.all().front().id, "IR018");
+  // JSON rendering uses the same deterministic order.
+  const std::string j = d.to_json().dump();
+  EXPECT_LT(j.find("IR003"), j.find("IR012"));
+  EXPECT_LT(j.find("IR012"), j.find("IR016"));
+  EXPECT_LT(j.find("IR016"), j.find("IR018"));
+}
+
+// ---------------------------------------------------------------------------
+// Doc-drift guard: the DESIGN.md check catalogue and known_check_ids()
+// must match one-to-one.
+// ---------------------------------------------------------------------------
+
+TEST(Diag, EveryCheckIdAppearsExactlyOnceInDesignCatalogue) {
+  const std::string path = std::string(SMD_SOURCE_DIR) + "/DESIGN.md";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::map<std::string, int> seen;  // catalogue-row IDs -> occurrences
+  std::string line;
+  while (std::getline(in, line)) {
+    // Catalogue rows are Markdown table rows of the form "| IR001 | ...".
+    if (line.rfind("| ", 0) != 0) continue;
+    const std::string cell = line.substr(2, line.find(" |", 2) - 2);
+    if (cell.size() < 5) continue;
+    const std::string prefix = cell.substr(0, 2);
+    if (prefix != "IR" && prefix != "SP" && prefix != "MC") continue;
+    if (!std::all_of(cell.begin() + 2, cell.end(),
+                     [](unsigned char ch) { return std::isdigit(ch); })) {
+      continue;
+    }
+    ++seen[cell];
+  }
+  for (const std::string& id : analysis::known_check_ids()) {
+    EXPECT_EQ(seen[id], 1) << id << " must appear exactly once in the "
+                           << "DESIGN.md catalogue";
+    seen.erase(id);
+  }
+  for (const auto& [id, n] : seen) {
+    ADD_FAILURE() << "DESIGN.md catalogues " << id << " (" << n
+                  << "x) but known_check_ids() does not list it";
+  }
 }
 
 // ---------------------------------------------------------------------------
