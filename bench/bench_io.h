@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <initializer_list>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -25,6 +26,83 @@ inline std::string flag_value(int argc, char** argv, const std::string& name) {
     if (argv[i] == flag) return argv[i + 1];
   }
   return "";
+}
+
+/// Uniform CLI argument-error exit shared by the smd* drivers: one
+/// `tool: message` line plus a one-line usage hint, exit status 2 (the
+/// same status a missing mode already produces).
+[[noreturn]] inline void usage_error(const char* tool, const std::string& msg,
+                                     const char* usage) {
+  std::fprintf(stderr, "%s: %s\nusage: %s\n", tool, msg.c_str(), usage);
+  std::exit(2);
+}
+
+/// Strict argv validation for the smd* drivers: every `--token` must be a
+/// known value-taking flag (its value, the next argv entry, is skipped --
+/// and must exist) or a known boolean flag; anything else exits 2 with
+/// the usage hint. Tokens not starting with "--" are positionals (e.g.
+/// the second baseline of `smdprof --diff A B`) and are left to the tool.
+inline void check_flags(int argc, char** argv, const char* tool,
+                        const char* usage,
+                        std::initializer_list<const char*> value_flags,
+                        std::initializer_list<const char*> bool_flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    bool known = false;
+    for (const char* f : bool_flags) {
+      if (arg == f) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      for (const char* f : value_flags) {
+        if (arg == f) {
+          if (i + 1 >= argc) {
+            usage_error(tool, "flag '" + arg + "' expects a value", usage);
+          }
+          ++i;  // skip the value
+          known = true;
+          break;
+        }
+      }
+    }
+    if (!known) usage_error(tool, "unknown flag '" + arg + "'", usage);
+  }
+}
+
+/// `--<name> <int>` with a fallback; a malformed or trailing-garbage
+/// value exits 2 through usage_error instead of throwing out of main.
+inline int int_flag_or_exit(int argc, char** argv, const char* tool,
+                            const std::string& name, int fallback,
+                            const char* usage) {
+  const std::string v = flag_value(argc, argv, name);
+  if (v.empty()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const int parsed = std::stoi(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument("trailing garbage");
+    return parsed;
+  } catch (const std::exception&) {
+    usage_error(tool, "--" + name + ": bad integer '" + v + "'", usage);
+  }
+}
+
+/// `--<name> <double>` with a fallback; malformed values exit 2.
+inline double double_flag_or_exit(int argc, char** argv, const char* tool,
+                                  const std::string& name, double fallback,
+                                  const char* usage) {
+  const std::string v = flag_value(argc, argv, name);
+  if (v.empty()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument("trailing garbage");
+    return parsed;
+  } catch (const std::exception&) {
+    usage_error(tool, "--" + name + ": bad number '" + v + "'", usage);
+  }
 }
 
 /// Parse "a,b,c" and "lo:hi:step" (inclusive ends) value lists -- the same
@@ -83,6 +161,25 @@ inline std::vector<int> parse_int_list(const std::string& spec) {
     out.push_back(static_cast<int>(v + (v >= 0 ? 0.5 : -0.5)));
   }
   return out;
+}
+
+/// `--<name> a,b,c` / `lo:hi:step` int list with a fallback; a malformed
+/// list exits 2 with the usage hint (the PR 6 `--nodes` behavior, now
+/// uniform across the drivers).
+inline std::vector<int> int_list_flag_or_exit(int argc, char** argv,
+                                              const char* tool,
+                                              const std::string& name,
+                                              std::vector<int> fallback,
+                                              const char* usage) {
+  const std::string v = flag_value(argc, argv, name);
+  if (v.empty()) return fallback;
+  try {
+    return parse_int_list(v);
+  } catch (const std::exception& e) {
+    usage_error(tool,
+                "--" + name + ": bad value list '" + v + "' (" + e.what() + ")",
+                usage);
+  }
 }
 
 class JsonOut {

@@ -1,0 +1,237 @@
+// Load generator for the simulation service (src/svc): throughput and
+// latency percentiles at thousands of concurrent requests, across
+// duplicate-request regimes.
+//
+//   bench_svc_load [--requests N] [--molecules N] [--workers a,b,c]
+//                  [--dups a,b,c] [--queue-cap N]
+//                  [--engine stepped|event|lockstep] [--json path]
+//
+// For every (worker count, duplicate fraction) combination the bench
+// builds a fresh server, submits N requests from a closed-loop client
+// thread, drains, and reports jobs/sec plus p50/p95/p99 total latency
+// from each response's own wall-clock decomposition. The duplicate
+// fraction d maps N requests onto round(N*(1-d)) unique configs (distinct
+// dram_gbps machine overrides over the four variants), so:
+//   --dups 0    every request simulates (worst case),
+//   --dups 50   every config is requested twice (in-flight dedup + memo),
+//   --dups 100  one config serves all N requests (one simulation total).
+//
+// The bench is also a checker for the two svc invariants (DESIGN.md
+// section 13) at scale, and exits non-zero if either fails:
+//   * counter proof: svc.jobs.simulated rises by exactly the number of
+//     unique configs in every regime -- never more;
+//   * determinism: for every config, the payload is byte-identical across
+//     all worker counts (the first worker count is the reference).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_io.h"
+#include "src/core/report.h"
+#include "src/obs/registry.h"
+#include "src/svc/server.h"
+#include "src/svc/wire.h"
+#include "src/util/table.h"
+
+using namespace smd;
+
+namespace {
+
+/// The i-th unique config: cycle the four variants, then nudge the DRAM
+/// bandwidth override by a hash-distinct epsilon. Every config is a valid
+/// machine and costs the same to simulate, so regimes differ only in
+/// duplication, not in per-job work.
+tune::Candidate unique_config(int i) {
+  tune::Candidate c;
+  const core::Variant variants[] = {core::Variant::kExpanded,
+                                    core::Variant::kFixed,
+                                    core::Variant::kVariable,
+                                    core::Variant::kDuplicated};
+  c.variant = variants[i % 4];
+  c.dram_gbps = 38.4 + 0.01 * static_cast<double>(i / 4);
+  return c;
+}
+
+double percentile_ms(std::vector<std::int64_t> ns, double q) {
+  if (ns.empty()) return 0.0;
+  std::sort(ns.begin(), ns.end());
+  const std::size_t idx = std::min(
+      ns.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(ns.size())));
+  return static_cast<double>(ns[idx]) / 1e6;
+}
+
+struct RegimeResult {
+  int workers = 0;
+  double dup_fraction = 0.0;
+  int n_requests = 0;
+  int n_unique = 0;
+  std::int64_t simulated = 0;
+  std::int64_t deduped = 0;
+  std::int64_t cache_hits = 0;
+  double elapsed_s = 0.0;
+  double jobs_per_s = 0.0;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  int failures = 0;  ///< non-ok responses + counter/identity violations
+};
+
+/// One (workers, dup fraction) run against a fresh server. `reference`
+/// maps unique-config index -> payload from the first worker count; later
+/// runs must match it byte-for-byte.
+RegimeResult run_regime(int workers, double dup, int n_requests,
+                        int n_molecules, std::size_t queue_cap,
+                        sim::SimEngine engine,
+                        std::map<int, std::string>& reference) {
+  RegimeResult r;
+  r.workers = workers;
+  r.dup_fraction = dup;
+  r.n_requests = n_requests;
+  r.n_unique = std::max(
+      1, static_cast<int>(static_cast<double>(n_requests) * (1.0 - dup) + 0.5));
+
+  auto& reg = obs::CounterRegistry::global();
+  const std::int64_t sim0 = reg.counter("svc.jobs.simulated");
+  const std::int64_t dedup0 = reg.counter("svc.jobs.deduped");
+  const std::int64_t cache0 = reg.counter("svc.jobs.cache_hit");
+
+  svc::ServerOptions opts;
+  opts.workers = workers;
+  opts.queue_cap = queue_cap;
+  opts.engine = engine;
+  svc::Server server(opts);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<svc::JobHandle> handles;
+  handles.reserve(static_cast<std::size_t>(n_requests));
+  for (int i = 0; i < n_requests; ++i) {
+    svc::Request req;
+    req.id = "load-" + std::to_string(i);
+    req.config = unique_config(i % r.n_unique);
+    req.n_molecules = n_molecules;
+    handles.push_back(server.submit(req));
+  }
+  server.drain();
+  r.elapsed_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              t0)
+                    .count();
+
+  std::vector<std::int64_t> total_ns;
+  total_ns.reserve(handles.size());
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const svc::Response& resp = handles[i].wait();
+    if (!resp.ok()) {
+      ++r.failures;
+      continue;
+    }
+    total_ns.push_back(resp.total_ns);
+    const int cfg_idx = static_cast<int>(i) % r.n_unique;
+    auto [it, inserted] = reference.emplace(cfg_idx, resp.payload);
+    if (!inserted && it->second != resp.payload) {
+      ++r.failures;  // payload differs across worker counts / requests
+    }
+  }
+  server.shutdown();
+
+  r.simulated = reg.counter("svc.jobs.simulated") - sim0;
+  r.deduped = reg.counter("svc.jobs.deduped") - dedup0;
+  r.cache_hits = reg.counter("svc.jobs.cache_hit") - cache0;
+  if (r.simulated > r.n_unique) ++r.failures;  // over-simulation: dedup broke
+  r.jobs_per_s = static_cast<double>(n_requests) / r.elapsed_s;
+  r.p50_ms = percentile_ms(total_ns, 0.50);
+  r.p95_ms = percentile_ms(total_ns, 0.95);
+  r.p99_ms = percentile_ms(total_ns, 0.99);
+  return r;
+}
+
+obs::Json to_json(const RegimeResult& r) {
+  obs::Json j = obs::Json::object();
+  j.set("workers", r.workers)
+      .set("dup_fraction", r.dup_fraction)
+      .set("n_requests", r.n_requests)
+      .set("n_unique", r.n_unique)
+      .set("simulated", r.simulated)
+      .set("deduped", r.deduped)
+      .set("cache_hits", r.cache_hits)
+      .set("elapsed_s", r.elapsed_s)
+      .set("jobs_per_s", r.jobs_per_s)
+      .set("p50_ms", r.p50_ms)
+      .set("p95_ms", r.p95_ms)
+      .set("p99_ms", r.p99_ms)
+      .set("failures", r.failures);
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  static const char* kUsage =
+      "bench_svc_load [--requests N] [--molecules N] [--workers a,b,c] "
+      "[--dups a,b,c] [--queue-cap N] [--engine stepped|event|lockstep] "
+      "[--json path]";
+  benchio::check_flags(argc, argv, "bench_svc_load", kUsage,
+                       {"--requests", "--molecules", "--workers", "--dups",
+                        "--queue-cap", "--engine", "--json"},
+                       {});
+  benchio::JsonOut jout(argc, argv, "bench_svc_load");
+
+  const int n_requests = benchio::int_flag_or_exit(
+      argc, argv, "bench_svc_load", "requests", 1000, kUsage);
+  const int n_molecules = benchio::int_flag_or_exit(
+      argc, argv, "bench_svc_load", "molecules", 32, kUsage);
+  const std::vector<int> workers = benchio::int_list_flag_or_exit(
+      argc, argv, "bench_svc_load", "workers", {1, 4}, kUsage);
+  const std::vector<int> dup_pcts = benchio::int_list_flag_or_exit(
+      argc, argv, "bench_svc_load", "dups", {0, 50, 100}, kUsage);
+  const std::size_t queue_cap =
+      static_cast<std::size_t>(benchio::int_flag_or_exit(
+          argc, argv, "bench_svc_load", "queue-cap", n_requests + 16, kUsage));
+  const sim::SimEngine engine =
+      sim::parse_engine(benchio::engine_flag(argc, argv));
+
+  std::printf("== svc load: %d requests, %d molecules, dup regimes ",
+              n_requests, n_molecules);
+  for (const int d : dup_pcts) std::printf("%d%% ", d);
+  std::printf("==\n\n");
+
+  util::Table t({"workers", "dup", "unique", "simulated", "deduped",
+                 "jobs/s", "p50 (ms)", "p95 (ms)", "p99 (ms)", "check"});
+  std::vector<RegimeResult> rows;
+  int failures = 0;
+  for (const int d : dup_pcts) {
+    // The reference payloads are per-regime: the first worker count
+    // defines them, every later worker count must reproduce them exactly.
+    std::map<int, std::string> reference;
+    for (const int w : workers) {
+      const RegimeResult r =
+          run_regime(w, static_cast<double>(d) / 100.0, n_requests,
+                     n_molecules, queue_cap, engine, reference);
+      failures += r.failures;
+      t.add_row({std::to_string(r.workers), std::to_string(d) + "%",
+                 std::to_string(r.n_unique), std::to_string(r.simulated),
+                 std::to_string(r.deduped), util::Table::num(r.jobs_per_s, 1),
+                 util::Table::num(r.p50_ms, 3), util::Table::num(r.p95_ms, 3),
+                 util::Table::num(r.p99_ms, 3),
+                 r.failures == 0 ? "ok" : "FAIL"});
+      rows.push_back(r);
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("invariants: simulated == unique configs per regime; payloads "
+              "byte-identical across worker counts -- %s\n",
+              failures == 0 ? "OK" : "FAILED");
+
+  obs::Json record = core::bench_record("bench_svc_load",
+                                        tune::Candidate{}.machine(), {});
+  record.set("n_requests", n_requests);
+  record.set("n_molecules", n_molecules);
+  obs::Json regimes = obs::Json::array();
+  for (const auto& r : rows) regimes.push_back(to_json(r));
+  record.set("regimes", std::move(regimes));
+  record.set("failures", failures);
+  jout.set_record(std::move(record));
+  return failures == 0 ? 0 : 1;
+}

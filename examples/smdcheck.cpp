@@ -183,11 +183,17 @@ struct Report {
 
 int main(int argc, char** argv) {
   using namespace smd;
+  static const char* kUsage =
+      "smdcheck [--dataflow] [--opt-report] [--n-molecules N] [--verbose] "
+      "[--all] [--json out.json]";
+  benchio::check_flags(argc, argv, "smdcheck", kUsage,
+                       {"--n-molecules", "--json"},
+                       {"--dataflow", "--opt-report", "--verbose", "--all"});
   benchio::JsonOut json(argc, argv, "smdcheck");
 
-  int n_molecules = 64;
-  const std::string n_flag = benchio::flag_value(argc, argv, "n-molecules");
-  if (!n_flag.empty()) n_molecules = std::stoi(n_flag);
+  const int n_molecules =
+      benchio::int_flag_or_exit(argc, argv, "smdcheck", "n-molecules", 64,
+                                kUsage);
   Report report;
   bool dataflow_mode = false;
   bool opt_report_mode = false;

@@ -306,6 +306,16 @@ int run_roofline(const Experiment& e, benchio::JsonOut& json) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  static const char* kUsage =
+      "smdprof --explain | --roofline | --scaling | --record-baseline path | "
+      "--check-baseline path | --diff baseA baseB  [--molecules N] "
+      "[--nodes a,b,c] [--json path] [--trace path] "
+      "[--engine stepped|event|lockstep]";
+  benchio::check_flags(argc, argv, "smdprof", kUsage,
+                       {"--molecules", "--nodes", "--json", "--trace",
+                        "--engine", "--record-baseline", "--check-baseline",
+                        "--diff"},
+                       {"--explain", "--roofline", "--scaling"});
   try {
     benchio::JsonOut json(argc, argv, "smdprof");
 
@@ -327,11 +337,8 @@ int main(int argc, char** argv) {
       return rep.ok() ? 0 : 1;
     }
 
-    const int n_molecules =
-        [&] {
-          const std::string v = benchio::flag_value(argc, argv, "molecules");
-          return v.empty() ? 900 : std::stoi(v);
-        }();
+    const int n_molecules = benchio::int_flag_or_exit(
+        argc, argv, "smdprof", "molecules", 900, kUsage);
 
     const std::string record =
         benchio::flag_value(argc, argv, "record-baseline");
@@ -352,17 +359,11 @@ int main(int argc, char** argv) {
     // Parse --nodes up front: a malformed list must fail with the usual
     // `--flag: message` / exit 2 before the (expensive) simulation runs.
     std::vector<std::int64_t> nodes = kBaselineScalingNodes;
-    const std::string nodes_flag = benchio::flag_value(argc, argv, "nodes");
-    if (!nodes_flag.empty()) {
+    if (!benchio::flag_value(argc, argv, "nodes").empty()) {
       nodes.clear();
-      try {
-        for (const int n : benchio::parse_int_list(nodes_flag)) {
-          nodes.push_back(n);
-        }
-      } catch (const std::exception& ex) {
-        std::fprintf(stderr, "--nodes: bad value list '%s' (%s)\n",
-                     nodes_flag.c_str(), ex.what());
-        return 2;
+      for (const int n : benchio::int_list_flag_or_exit(
+               argc, argv, "smdprof", "nodes", {}, kUsage)) {
+        nodes.push_back(n);
       }
     }
 

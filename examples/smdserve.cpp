@@ -1,0 +1,282 @@
+// smdserve: CLI front-end to the simulation-as-a-service job server
+// (src/svc): submit request batches from a file or stdin, or run the
+// self-checking --demo workload.
+//
+//   smdserve --requests file|-  [--workers N] [--queue-cap N] [--cache path]
+//            [--max-molecules N] [--engine stepped|event|lockstep]
+//            [--json path]
+//   smdserve --demo [--molecules N] [--workers N] [--queue-cap N]
+//            [--cache path] [--json path]
+//
+// --requests parses a wire-format batch (svc/wire.h: either
+// {"schema_version":1,"requests":[...]} or a bare array; "-" reads
+// stdin), submits every request, waits for the server to drain, and
+// prints one row per response plus the telemetry counters. Exit status is
+// 0 iff every request completed ok.
+//
+// --demo is a golden self-check of the DESIGN.md section 13 determinism
+// invariant, sized to run in CI:
+//   1. submits the four paper variants x3 duplicates each and verifies
+//      every payload is byte-identical to a direct single-threaded
+//      tune::evaluate + payload_text of the same config -- while the
+//      svc.jobs.simulated counter rose by exactly the number of *unique*
+//      configs (duplicates attached in-flight, simulating nothing);
+//   2. resubmits the same four configs and verifies the server performed
+//      zero additional simulations (in-memory memo / persistent cache).
+// Exit status is non-zero on any payload mismatch or counter violation.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_io.h"
+#include "src/obs/registry.h"
+#include "src/svc/server.h"
+#include "src/svc/wire.h"
+#include "src/tune/runner.h"
+
+using namespace smd;
+
+namespace {
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+void print_response_row(const svc::Response& r) {
+  std::printf("%-10s %-18s %-6s %016llx %9.3f ms  %s\n", r.id.c_str(),
+              svc::error_code_name(r.error), r.served_by.c_str(),
+              static_cast<unsigned long long>(r.config_hash),
+              static_cast<double>(r.total_ns) / 1e6,
+              r.message.empty() ? "" : r.message.c_str());
+}
+
+obs::Json responses_json(const std::vector<svc::Response>& rs) {
+  obs::Json arr = obs::Json::array();
+  for (const auto& r : rs) arr.push_back(r.to_json());
+  return arr;
+}
+
+/// --requests: run a wire-format batch through the server.
+int run_requests(const std::string& path, const svc::ServerOptions& opts,
+                 benchio::JsonOut& jout) {
+  obs::Json doc;
+  if (path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    doc = obs::Json::parse(ss.str());
+  } else {
+    doc = obs::load_file(path);
+  }
+  const std::vector<svc::Request> requests = svc::parse_request_file(doc);
+  std::printf("smdserve: %zu requests, %d workers, queue cap %zu%s\n\n",
+              requests.size(), opts.workers, opts.queue_cap,
+              opts.cache_path.empty()
+                  ? ""
+                  : (", cache " + opts.cache_path).c_str());
+
+  svc::Server server(opts);
+  std::vector<svc::JobHandle> handles;
+  handles.reserve(requests.size());
+  for (const svc::Request& req : requests) {
+    handles.push_back(server.submit(req));
+  }
+  server.drain();
+
+  std::printf("%-10s %-18s %-6s %-16s %12s\n", "id", "outcome", "via", "hash",
+              "latency");
+  std::vector<svc::Response> responses;
+  int failures = 0;
+  for (const svc::JobHandle& h : handles) {
+    const svc::Response& r = h.wait();
+    print_response_row(r);
+    if (!r.ok()) ++failures;
+    responses.push_back(r);
+  }
+  server.shutdown();
+
+  auto& reg = obs::CounterRegistry::global();
+  std::printf("\n%lld submitted: %lld completed, %lld cancelled, %lld "
+              "rejected; %lld simulated, %lld deduped, %lld cache hits\n",
+              static_cast<long long>(reg.counter("svc.jobs.submitted")),
+              static_cast<long long>(reg.counter("svc.jobs.completed")),
+              static_cast<long long>(reg.counter("svc.jobs.cancelled")),
+              static_cast<long long>(reg.counter("svc.jobs.rejected")),
+              static_cast<long long>(reg.counter("svc.jobs.simulated")),
+              static_cast<long long>(reg.counter("svc.jobs.deduped")),
+              static_cast<long long>(reg.counter("svc.jobs.cache_hit")));
+
+  jout.root().set("mode", "requests");
+  jout.root().set("n_requests", static_cast<std::int64_t>(requests.size()));
+  jout.root().set("workers", opts.workers);
+  jout.root().set("failures", failures);
+  jout.root().set("responses", responses_json(responses));
+  jout.root().set("telemetry", reg.to_json());
+  return failures == 0 ? 0 : 1;
+}
+
+/// --demo: the self-checking dedup + determinism workload.
+int run_demo(int n_molecules, const svc::ServerOptions& opts,
+             benchio::JsonOut& jout) {
+  auto& reg = obs::CounterRegistry::global();
+  int failures = 0;
+
+  // The four paper variants, each submitted kDup times.
+  constexpr int kDup = 3;
+  std::vector<tune::Candidate> configs;
+  for (core::Variant v :
+       {core::Variant::kExpanded, core::Variant::kFixed,
+        core::Variant::kVariable, core::Variant::kDuplicated}) {
+    tune::Candidate c;
+    c.variant = v;
+    configs.push_back(c);
+  }
+
+  std::printf("smdserve --demo: %zu unique configs x%d duplicates, "
+              "%d molecules, %d workers\n\n",
+              configs.size(), kDup, n_molecules, opts.workers);
+
+  // Direct single-threaded reference payloads, computed before the server
+  // exists: the byte-identity baseline of the determinism invariant.
+  core::ExperimentSetup setup;
+  setup.n_molecules = n_molecules;
+  const core::Problem problem = core::Problem::make(setup);
+  std::vector<std::string> want_payload;
+  for (const tune::Candidate& c : configs) {
+    const std::uint64_t h = svc::request_hash(c, n_molecules, opts.salt);
+    const tune::Metrics m = tune::evaluate(problem, c, opts.engine);
+    want_payload.push_back(svc::payload_text(h, c, n_molecules, m));
+  }
+
+  const std::int64_t sim0 = reg.counter("svc.jobs.simulated");
+  svc::Server server(opts);
+
+  // Phase 1: every config kDup times; duplicates must attach, not re-run.
+  std::vector<svc::JobHandle> handles;
+  for (int d = 0; d < kDup; ++d) {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      svc::Request req;
+      req.id = "demo-" + std::to_string(i) + "-" + std::to_string(d);
+      req.config = configs[i];
+      req.n_molecules = n_molecules;
+      handles.push_back(server.submit(req));
+    }
+  }
+  server.drain();
+  std::printf("%-10s %-18s %-6s %-16s %12s\n", "id", "outcome", "via", "hash",
+              "latency");
+  for (std::size_t k = 0; k < handles.size(); ++k) {
+    const svc::Response& r = handles[k].wait();
+    print_response_row(r);
+    if (!r.ok()) {
+      std::printf("FAIL: %s did not complete\n", r.id.c_str());
+      ++failures;
+      continue;
+    }
+    if (r.payload != want_payload[k % configs.size()]) {
+      std::printf("FAIL: %s payload differs from the direct "
+                  "single-threaded run\n",
+                  r.id.c_str());
+      ++failures;
+    }
+  }
+  const std::int64_t sim1 = reg.counter("svc.jobs.simulated");
+  if (sim1 - sim0 > static_cast<std::int64_t>(configs.size())) {
+    std::printf("FAIL: %lld simulations for %zu unique configs\n",
+                static_cast<long long>(sim1 - sim0), configs.size());
+    ++failures;
+  }
+  std::printf("\nphase 1: %lld simulations for %zu unique configs "
+              "(%zu requests), payload bit-identity %s\n",
+              static_cast<long long>(sim1 - sim0), configs.size(),
+              handles.size(), failures == 0 ? "OK" : "FAILED");
+
+  // Phase 2: resubmission is pure lookup -- zero new simulations.
+  std::vector<svc::JobHandle> again;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    svc::Request req;
+    req.id = "again-" + std::to_string(i);
+    req.config = configs[i];
+    req.n_molecules = n_molecules;
+    again.push_back(server.submit(req));
+  }
+  server.drain();
+  for (std::size_t i = 0; i < again.size(); ++i) {
+    const svc::Response& r = again[i].wait();
+    if (!r.ok() || r.payload != want_payload[i]) {
+      std::printf("FAIL: resubmitted %s wrong or missing payload\n",
+                  r.id.c_str());
+      ++failures;
+    }
+  }
+  const std::int64_t sim2 = reg.counter("svc.jobs.simulated");
+  if (sim2 != sim1) {
+    std::printf("FAIL: resubmission ran %lld new simulations (want 0)\n",
+                static_cast<long long>(sim2 - sim1));
+    ++failures;
+  }
+  std::printf("phase 2: resubmitting all %zu configs ran %lld new "
+              "simulations (want 0) -- %s\n",
+              configs.size(), static_cast<long long>(sim2 - sim1),
+              sim2 == sim1 ? "OK" : "FAILED");
+  server.shutdown();
+
+  std::printf("\nsmdserve --demo: %d failures\n", failures);
+  jout.root().set("mode", "demo");
+  jout.root().set("n_molecules", n_molecules);
+  jout.root().set("workers", opts.workers);
+  jout.root().set("unique_configs", static_cast<std::int64_t>(configs.size()));
+  jout.root().set("duplicates_per_config", kDup);
+  jout.root().set("simulated_phase1", sim1 - sim0);
+  jout.root().set("simulated_phase2", sim2 - sim1);
+  jout.root().set("failures", failures);
+  jout.root().set("telemetry", reg.to_json());
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  static const char* kUsage =
+      "smdserve --requests file|- | --demo  [--molecules N] [--workers N] "
+      "[--queue-cap N] [--cache path] [--max-molecules N] "
+      "[--engine stepped|event|lockstep] [--json path]";
+  benchio::check_flags(argc, argv, "smdserve", kUsage,
+                       {"--requests", "--molecules", "--workers",
+                        "--queue-cap", "--cache", "--max-molecules",
+                        "--engine", "--json"},
+                       {"--demo"});
+  benchio::JsonOut jout(argc, argv, "smdserve");
+
+  svc::ServerOptions opts;
+  opts.workers =
+      benchio::int_flag_or_exit(argc, argv, "smdserve", "workers", 2, kUsage);
+  opts.queue_cap = static_cast<std::size_t>(benchio::int_flag_or_exit(
+      argc, argv, "smdserve", "queue-cap", 1024, kUsage));
+  opts.cache_path = benchio::flag_value(argc, argv, "cache");
+  opts.max_molecules = benchio::int_flag_or_exit(
+      argc, argv, "smdserve", "max-molecules", opts.max_molecules, kUsage);
+  opts.engine = sim::parse_engine(benchio::engine_flag(argc, argv));
+
+  const std::string requests = benchio::flag_value(argc, argv, "requests");
+  try {
+    if (!requests.empty()) {
+      return run_requests(requests, opts, jout);
+    }
+    if (has_flag(argc, argv, "--demo")) {
+      const int n_molecules = benchio::int_flag_or_exit(
+          argc, argv, "smdserve", "molecules", 64, kUsage);
+      return run_demo(n_molecules, opts, jout);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "smdserve: %s\n", e.what());
+    return 2;
+  }
+  benchio::usage_error("smdserve", "pick a mode: --requests file|- or --demo",
+                       kUsage);
+}

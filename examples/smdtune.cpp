@@ -45,11 +45,6 @@ bool has_flag(int argc, char** argv, const char* flag) {
   return false;
 }
 
-int int_flag(int argc, char** argv, const std::string& name, int fallback) {
-  const std::string v = benchio::flag_value(argc, argv, name);
-  return v.empty() ? fallback : std::stoi(v);
-}
-
 const tune::EvalResult* find_variant(const std::vector<tune::EvalResult>& rs,
                                      core::Variant v) {
   for (const auto& r : rs) {
@@ -239,6 +234,14 @@ int run_sweep(const core::Problem& problem, const std::string& spec,
 }  // namespace
 
 int main(int argc, char** argv) {
+  static const char* kUsage =
+      "smdtune --paper | --sweep \"axis=...\" | --list-axes "
+      "[--molecules N] [--jobs N] [--cache path] [--prune slack] "
+      "[--json path] [--verbose] [--engine stepped|event|lockstep]";
+  benchio::check_flags(argc, argv, "smdtune", kUsage,
+                       {"--sweep", "--molecules", "--jobs", "--cache",
+                        "--prune", "--json", "--engine"},
+                       {"--paper", "--list-axes", "--verbose"});
   benchio::JsonOut jout(argc, argv, "smdtune");
 
   if (has_flag(argc, argv, "--list-axes")) {
@@ -248,15 +251,18 @@ int main(int argc, char** argv) {
   }
 
   tune::RunnerOptions ropts;
-  ropts.jobs = int_flag(argc, argv, "jobs", 1);
+  ropts.jobs = benchio::int_flag_or_exit(argc, argv, "smdtune", "jobs", 1,
+                                         kUsage);
   ropts.cache_path = benchio::flag_value(argc, argv, "cache");
   ropts.verbose = has_flag(argc, argv, "--verbose");
-  const std::string prune = benchio::flag_value(argc, argv, "prune");
-  if (!prune.empty()) ropts.prune_slack = std::stod(prune);
+  ropts.prune_slack = benchio::double_flag_or_exit(argc, argv, "smdtune",
+                                                   "prune", ropts.prune_slack,
+                                                   kUsage);
   ropts.engine = sim::parse_engine(benchio::engine_flag(argc, argv));
 
   core::ExperimentSetup setup;
-  setup.n_molecules = int_flag(argc, argv, "molecules", 900);
+  setup.n_molecules = benchio::int_flag_or_exit(argc, argv, "smdtune",
+                                                "molecules", 900, kUsage);
   const core::Problem problem = core::Problem::make(setup);
 
   const std::string spec = benchio::flag_value(argc, argv, "sweep");

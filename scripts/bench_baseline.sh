@@ -21,9 +21,10 @@ cd "$(dirname "$0")/.."
 BASELINE=BENCH_baseline.json
 BUILD=build
 
-if [ ! -x "${BUILD}/examples/smdprof" ]; then
+if [ ! -x "${BUILD}/examples/smdprof" ] ||
+   [ ! -x "${BUILD}/bench/bench_svc_load" ]; then
   cmake --preset default
-  cmake --build --preset default -j "$(nproc)" --target smdprof
+  cmake --build --preset default -j "$(nproc)" --target smdprof bench_svc_load
 fi
 
 if [ "${1:-}" = "--check" ]; then
@@ -34,5 +35,11 @@ fi
 # Sanity: the decomposition the file now pins must pass its own
 # sum-to-total self-check before we ask anyone to commit it.
 "${BUILD}/examples/smdprof" --scaling --molecules 256 >/dev/null
+# Serving-path sanity (exit non-zero on any violation): the load bench's
+# own invariants -- one simulation per unique config and payload
+# byte-identity across worker counts -- at a reduced request count. The
+# full 1000-request regime table lives in EXPERIMENTS.md.
+"${BUILD}/bench/bench_svc_load" --requests 120 --molecules 16 \
+  --workers 1,4 >/dev/null
 echo "refreshed ${BASELINE}; review the diff and commit it with your change"
 git --no-pager diff --stat -- "${BASELINE}" || true

@@ -56,6 +56,16 @@ for preset in "${presets[@]}"; do
   "${build_dir[${preset}]}/examples/smdcheck" --dataflow --all
   echo "==== smdtune --paper --jobs 4 (${preset}) ===="
   "${build_dir[${preset}]}/examples/smdtune" --paper --jobs 4 --molecules 256
+  # Service smoke + property suite (DESIGN.md section 13): payload
+  # byte-identity vs. a direct single-threaded run, exactly one
+  # simulation per unique config, zero simulations on resubmission, and
+  # counter conservation under a randomized cancel/deadline/queue-full
+  # mix. Runs under every preset -- under tsan this is the data-race
+  # gate for the whole svc worker pool.
+  echo "==== smdserve --demo (${preset}) ===="
+  "${build_dir[${preset}]}/examples/smdserve" --demo --molecules 64 --workers 4
+  echo "==== svc property suite (${preset}) ===="
+  ctest --preset "${preset}" -R svc_test --output-on-failure
   if [ "${preset}" = default ] || [ "${preset}" = asan-ubsan ]; then
     # Multi-node decomposition self-check (DESIGN.md section 11): the
     # parallel taxonomy must sum exactly to total node-time at every node

@@ -382,6 +382,15 @@ void write_file(const Json& j, const std::string& path) {
   if (!os) throw std::runtime_error("write failed: " + path);
 }
 
+void write_file_atomic(const Json& j, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  write_file(j, tmp);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot rename " + tmp + " over " + path);
+  }
+}
+
 Json load_file(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("cannot open: " + path);

@@ -95,6 +95,13 @@ class Json {
 /// std::runtime_error if the file cannot be written.
 void write_file(const Json& j, const std::string& path);
 
+/// Crash-safe variant of write_file: writes to `path + ".tmp"` and
+/// atomically renames over `path`, so readers never observe a torn or
+/// truncated document -- they see the old file or the new one. Used for
+/// files that outlive the process (result caches, baselines). Throws
+/// std::runtime_error on I/O failure (the temp file is removed).
+void write_file_atomic(const Json& j, const std::string& path);
+
 /// Read and parse a JSON file; throws on I/O or parse errors.
 Json load_file(const std::string& path);
 

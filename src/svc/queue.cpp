@@ -1,0 +1,50 @@
+#include "src/svc/queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace smd::svc {
+
+JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity) {}
+
+bool JobQueue::push(int priority, std::shared_ptr<InflightJob> job) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || heap_.size() >= capacity_) return false;
+    heap_.push(Item{priority, next_seq_++, std::move(job)});
+    peak_depth_ = std::max(peak_depth_, heap_.size());
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::shared_ptr<InflightJob> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !heap_.empty(); });
+  if (heap_.empty()) return nullptr;  // closed and drained
+  // priority_queue::top() is const-ref; moving the payload out would leave
+  // the heap in a corrupt state, so copy the shared_ptr and pop.
+  std::shared_ptr<InflightJob> job = heap_.top().job;
+  heap_.pop();
+  return job;
+}
+
+void JobQueue::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t JobQueue::depth() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return heap_.size();
+}
+
+std::size_t JobQueue::peak_depth() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return peak_depth_;
+}
+
+}  // namespace smd::svc

@@ -1,0 +1,72 @@
+// Bounded priority job queue for the simulation service.
+//
+// Ordering: highest priority first, FIFO within a priority (a submission
+// sequence number breaks ties, so equal-priority jobs retire in arrival
+// order regardless of heap internals). Capacity is enforced at push --
+// the server turns a failed push into a structured kQueueFull rejection
+// rather than blocking the submitter.
+//
+// Cancellation is cooperative: a cancelled job is not unlinked from the
+// heap (that would be O(n) under the lock); it stays queued, and the
+// worker that eventually pops it observes the cancel/deadline state on
+// the job and retires it without simulating. The queue itself never
+// inspects job state -- it only orders and bounds.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+namespace smd::svc {
+
+struct InflightJob;  // server.h
+
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity);
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Enqueue a job; false when the queue is at capacity or closed.
+  bool push(int priority, std::shared_ptr<InflightJob> job);
+
+  /// Block until a job is available or the queue is closed; nullptr means
+  /// closed *and* drained (workers exit on it). Jobs already queued when
+  /// close() is called are still handed out, so shutdown drains.
+  std::shared_ptr<InflightJob> pop();
+
+  /// Stop accepting pushes and wake every blocked pop.
+  void close();
+
+  std::size_t depth() const;
+  std::size_t capacity() const { return capacity_; }
+  std::size_t peak_depth() const;
+
+ private:
+  struct Item {
+    int priority = 0;
+    std::uint64_t seq = 0;
+    std::shared_ptr<InflightJob> job;
+  };
+  /// "Less important" comparator for the max-heap: lower priority loses;
+  /// at equal priority the *later* submission (larger seq) loses.
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.priority != b.priority) return a.priority < b.priority;
+      return a.seq > b.seq;
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  std::size_t capacity_;
+  std::size_t peak_depth_ = 0;
+  std::uint64_t next_seq_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace smd::svc

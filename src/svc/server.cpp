@@ -1,0 +1,426 @@
+#include "src/svc/server.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "src/analysis/diag.h"
+
+namespace smd::svc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t ns_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count();
+}
+
+double ns_to_seconds(std::int64_t ns) { return static_cast<double>(ns) * 1e-9; }
+
+/// A slot no longer wants its result: cancelled, or past its deadline.
+bool slot_dead(const RequestSlot& slot, Clock::time_point now) {
+  return slot.cancel_requested.load(std::memory_order_relaxed) ||
+         now > slot.deadline;
+}
+
+}  // namespace
+
+// ---- ProblemPool ----------------------------------------------------------
+
+ProblemPool& ProblemPool::shared() {
+  static ProblemPool pool;
+  return pool;
+}
+
+std::shared_ptr<const core::Problem> ProblemPool::get(int n_molecules) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = pool_.find(n_molecules);
+  if (it != pool_.end()) return it->second;
+  core::ExperimentSetup setup;
+  setup.n_molecules = n_molecules;
+  auto problem = std::make_shared<const core::Problem>(core::Problem::make(setup));
+  pool_.emplace(n_molecules, problem);
+  return problem;
+}
+
+// ---- JobHandle ------------------------------------------------------------
+
+bool JobHandle::done() const {
+  const std::lock_guard<std::mutex> lock(slot_->mu);
+  return slot_->done;
+}
+
+const Response& JobHandle::wait() const {
+  std::unique_lock<std::mutex> lock(slot_->mu);
+  slot_->cv.wait(lock, [&] { return slot_->done; });
+  return slot_->resp;
+}
+
+// ---- Server ---------------------------------------------------------------
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)),
+      reg_(obs::CounterRegistry::global()),
+      queue_(opts_.queue_cap),
+      cache_(opts_.cache_path, opts_.salt) {
+  if (opts_.workers < 1) {
+    throw std::invalid_argument("svc: workers must be >= 1 (got " +
+                                std::to_string(opts_.workers) + ")");
+  }
+  if (opts_.queue_cap < 1) {
+    throw std::invalid_argument("svc: queue capacity must be >= 1");
+  }
+  cache_.load();  // tolerant: a corrupt file loads as empty, never throws
+  workers_.reserve(static_cast<std::size_t>(opts_.workers));
+  for (int i = 0; i < opts_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Server::~Server() { shutdown(); }
+
+JobHandle Server::submit(Request req, ProgressFn progress) {
+  const Clock::time_point now = Clock::now();
+  auto slot = std::make_shared<RequestSlot>();
+  slot->submitted = now;
+  slot->deadline = req.timeout_ms > 0
+                       ? now + std::chrono::milliseconds(req.timeout_ms)
+                       : Clock::time_point::max();
+  slot->progress = std::move(progress);
+  if (req.id.empty()) {
+    req.id = "job-" + std::to_string(next_id_.fetch_add(1));
+  }
+  slot->id = req.id;
+  reg_.add("svc.jobs.submitted");
+
+  // Structured rejections, cheapest first; none of these consume a worker.
+  if (req.n_molecules <= 0) {
+    return reject(slot, ErrorCode::kBadRequest, "n_molecules must be positive");
+  }
+  if (req.n_molecules > opts_.max_molecules) {
+    return reject(slot, ErrorCode::kBudgetExceeded,
+                  "n_molecules " + std::to_string(req.n_molecules) +
+                      " over the per-request budget of " +
+                      std::to_string(opts_.max_molecules));
+  }
+  {
+    const analysis::Diagnostics diags = req.config.machine().validate();
+    if (diags.errors() > 0) {
+      return reject(slot, ErrorCode::kBadRequest,
+                    "invalid machine config: " + diags.format());
+    }
+  }
+
+  slot->hash = request_hash(req.config, req.n_molecules, opts_.salt);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (shutdown_) {
+      lock.unlock();
+      return reject(slot, ErrorCode::kShutdown, "server is shutting down");
+    }
+    auto it = inflight_.find(slot->hash);
+    if (it != inflight_.end()) {
+      // In-flight dedup: ride the existing job. Never rejected for queue
+      // space -- the work is already scheduled.
+      it->second->slots.push_back(slot);
+      by_id_.emplace(slot->id, slot);
+      ++outstanding_;
+      reg_.add("svc.jobs.deduped");
+    } else {
+      auto job = std::make_shared<InflightJob>();
+      job->hash = slot->hash;
+      job->config = req.config;
+      job->n_molecules = req.n_molecules;
+      job->priority = req.priority;
+      slot->leader = true;
+      job->slots.push_back(slot);
+      if (!queue_.push(req.priority, job)) {
+        lock.unlock();
+        return reject(slot, ErrorCode::kQueueFull,
+                      "job queue at capacity (" +
+                          std::to_string(queue_.capacity()) + ")");
+      }
+      inflight_.emplace(slot->hash, std::move(job));
+      by_id_.emplace(slot->id, slot);
+      ++outstanding_;
+      reg_.set_gauge("svc.queue.depth", static_cast<double>(queue_.depth()));
+      reg_.set_gauge("svc.queue.peak_depth",
+                     static_cast<double>(queue_.peak_depth()));
+    }
+  }
+  notify(slot, JobPhase::kQueued);
+  return JobHandle(slot);
+}
+
+JobHandle Server::reject(const std::shared_ptr<RequestSlot>& slot,
+                         ErrorCode code, std::string message) {
+  Response r;
+  r.id = slot->id;
+  r.error = code;
+  r.message = std::move(message);
+  r.config_hash = slot->hash;
+  r.total_ns = ns_between(slot->submitted, Clock::now());
+  fulfill(slot, std::move(r), /*tracked=*/false);
+  return JobHandle(slot);
+}
+
+std::size_t Server::cancel(const std::string& id) {
+  std::vector<std::shared_ptr<RequestSlot>> targets;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto [begin, end] = by_id_.equal_range(id);
+    for (auto it = begin; it != end; ++it) targets.push_back(it->second);
+  }
+  std::size_t newly = 0;
+  for (const auto& slot : targets) {
+    if (!slot->cancel_requested.exchange(true)) ++newly;
+  }
+  return newly;
+}
+
+void Server::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+void Server::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  queue_.close();  // queued jobs still drain; pops return null when empty
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (cache_.enabled() && cache_.dirty()) cache_.save();
+}
+
+void Server::worker_loop() {
+  while (std::shared_ptr<InflightJob> job = queue_.pop()) {
+    reg_.set_gauge("svc.queue.depth", static_cast<double>(queue_.depth()));
+    execute(job);
+  }
+}
+
+void Server::execute(const std::shared_ptr<InflightJob>& job) {
+  const Clock::time_point exec_start = Clock::now();
+
+  // Cooperative cancellation, checkpoint 1: if nobody attached to this
+  // job still wants the result, retire it without touching the simulator.
+  // Taking the slots and erasing the in-flight entry is atomic under mu_,
+  // so a duplicate submitted after this point starts a fresh job.
+  std::vector<std::shared_ptr<RequestSlot>> live;
+  bool retired = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    bool any_live = false;
+    for (const auto& s : job->slots) {
+      if (!slot_dead(*s, exec_start)) {
+        any_live = true;
+        break;
+      }
+    }
+    if (!any_live) {
+      live = std::move(job->slots);
+      inflight_.erase(job->hash);
+      retired = true;
+    } else {
+      live = job->slots;  // snapshot for progress notifications
+    }
+  }
+  if (retired) {
+    // Everyone bailed: deliver per-slot verdicts (cancelled vs deadline).
+    const Clock::time_point end = Clock::now();
+    for (const auto& s : live) {
+      Response r;
+      r.id = s->id;
+      r.config_hash = job->hash;
+      const bool cancelled = s->cancel_requested.load();
+      r.error = cancelled ? ErrorCode::kCancelled : ErrorCode::kDeadlineExceeded;
+      r.message = cancelled ? "cancelled before execution"
+                            : "deadline passed before execution";
+      r.queue_ns = std::max<std::int64_t>(0, ns_between(s->submitted, exec_start));
+      r.total_ns = ns_between(s->submitted, end);
+      fulfill(s, std::move(r), /*tracked=*/true);
+    }
+    return;
+  }
+  for (const auto& s : live) notify(s, JobPhase::kStarted);
+
+  JobOutcome outcome;
+
+  // ---- Phase: cache lookup (in-memory memo, then the persistent layer).
+  const Clock::time_point t_lookup = Clock::now();
+  bool have_result = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto mit = memo_.find(job->hash);
+    if (mit != memo_.end()) {
+      outcome.metrics = mit->second.metrics;
+      outcome.payload = mit->second.payload;
+      have_result = true;
+    } else if (cache_.enabled() && cache_.lookup(job->hash, &outcome.metrics)) {
+      have_result = true;  // payload rendered in the serialize phase
+    }
+  }
+  outcome.lookup_ns = ns_between(t_lookup, Clock::now());
+  outcome.served_by = have_result ? "cache" : "sim";
+
+  // ---- Phase: simulate (problem build + cycle-accurate run).
+  if (!have_result) {
+    const Clock::time_point t_sim = Clock::now();
+    try {
+      const std::shared_ptr<const core::Problem> problem =
+          ProblemPool::shared().get(job->n_molecules);
+      // Cooperative cancellation, checkpoint 2: between the expensive
+      // phases. The problem is pooled (useful to later requests) but the
+      // simulation can still be skipped.
+      bool any_live = false;
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        const Clock::time_point now = Clock::now();
+        for (const auto& s : job->slots) {
+          if (!slot_dead(*s, now)) {
+            any_live = true;
+            break;
+          }
+        }
+      }
+      if (any_live) {
+        outcome.metrics = tune::evaluate(*problem, job->config, opts_.engine);
+        reg_.add("svc.jobs.simulated");
+      } else {
+        outcome.error = ErrorCode::kCancelled;
+        outcome.message = "every requester cancelled mid-execution";
+      }
+    } catch (const std::exception& e) {
+      outcome.error = ErrorCode::kInternal;
+      outcome.message = e.what();
+      reg_.add("svc.jobs.internal_errors");
+    }
+    outcome.simulate_ns = ns_between(t_sim, Clock::now());
+  }
+
+  // ---- Phase: serialize the deterministic payload, once per job.
+  if (outcome.error == ErrorCode::kOk && outcome.payload.empty()) {
+    const Clock::time_point t_ser = Clock::now();
+    outcome.payload = payload_text(job->hash, job->config, job->n_molecules,
+                                   outcome.metrics);
+    outcome.serialize_ns = ns_between(t_ser, Clock::now());
+  }
+
+  // Publish into the memo and (for fresh simulations) the persistent layer.
+  if (outcome.error == ErrorCode::kOk) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    memo_.emplace(job->hash, CachedResult{outcome.metrics, outcome.payload});
+    if (!have_result && cache_.enabled()) {
+      cache_.insert(job->hash, job->config, outcome.metrics);
+    }
+  }
+
+  finish(job, exec_start, outcome);
+}
+
+void Server::finish(const std::shared_ptr<InflightJob>& job,
+                    Clock::time_point exec_start, const JobOutcome& outcome) {
+  std::vector<std::shared_ptr<RequestSlot>> slots;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    slots = std::move(job->slots);
+    inflight_.erase(job->hash);
+  }
+  const Clock::time_point end = Clock::now();
+
+  // Per-phase wall-clock timers (job-level: one set of phases ran).
+  if (!slots.empty()) {
+    reg_.add_seconds("svc.phase.queue", ns_to_seconds(std::max<std::int64_t>(
+        0, ns_between(slots.front()->submitted, exec_start))));
+    reg_.add_seconds("svc.phase.lookup", ns_to_seconds(outcome.lookup_ns));
+    reg_.add_seconds("svc.phase.simulate", ns_to_seconds(outcome.simulate_ns));
+    reg_.add_seconds("svc.phase.serialize",
+                     ns_to_seconds(outcome.serialize_ns));
+  }
+  if (outcome.error == ErrorCode::kOk && outcome.served_by == "cache") {
+    reg_.add("svc.jobs.cache_hit");
+  }
+
+  for (const auto& s : slots) {
+    Response r;
+    r.id = s->id;
+    r.config_hash = job->hash;
+    if (s->cancel_requested.load()) {
+      r.error = ErrorCode::kCancelled;
+      r.message = "cancelled";
+    } else if (end > s->deadline) {
+      r.error = ErrorCode::kDeadlineExceeded;
+      r.message = "deadline exceeded";
+    } else if (outcome.error != ErrorCode::kOk) {
+      r.error = outcome.error;
+      r.message = outcome.message;
+    } else {
+      r.metrics = outcome.metrics;
+      r.payload = outcome.payload;
+      r.served_by = s->leader ? outcome.served_by : "dedup";
+    }
+    r.queue_ns =
+        std::max<std::int64_t>(0, ns_between(s->submitted, exec_start));
+    r.lookup_ns = outcome.lookup_ns;
+    r.simulate_ns = outcome.simulate_ns;
+    r.serialize_ns = outcome.serialize_ns;
+    r.total_ns = ns_between(s->submitted, end);
+    fulfill(s, std::move(r), /*tracked=*/true);
+  }
+}
+
+void Server::fulfill(const std::shared_ptr<RequestSlot>& slot, Response resp,
+                     bool tracked) {
+  switch (resp.error) {
+    case ErrorCode::kOk:
+    case ErrorCode::kInternal:
+      // An internal error still consumed the job's turn: the request was
+      // processed to completion, just not successfully.
+      reg_.add("svc.jobs.completed");
+      break;
+    case ErrorCode::kCancelled:
+    case ErrorCode::kDeadlineExceeded:
+      reg_.add("svc.jobs.cancelled");
+      break;
+    default:
+      reg_.add("svc.jobs.rejected");
+      break;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(slot->mu);
+    slot->resp = std::move(resp);
+    slot->done = true;
+  }
+  slot->cv.notify_all();
+  if (tracked) {
+    bool drained = false;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      const auto [begin, end] = by_id_.equal_range(slot->id);
+      for (auto it = begin; it != end; ++it) {
+        if (it->second == slot) {
+          by_id_.erase(it);
+          break;
+        }
+      }
+      drained = --outstanding_ == 0;
+    }
+    if (drained) drain_cv_.notify_all();
+  }
+  notify(slot, JobPhase::kDone);
+}
+
+void Server::notify(const std::shared_ptr<RequestSlot>& slot, JobPhase phase) {
+  if (!slot->progress) return;
+  Progress p;
+  p.id = slot->id;
+  p.config_hash = slot->hash;
+  p.phase = phase;
+  slot->progress(p);
+}
+
+}  // namespace smd::svc

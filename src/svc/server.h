@@ -1,0 +1,220 @@
+// Simulation-as-a-service: a long-running, in-process job server.
+//
+// Requests (tune::Candidate-shaped configs + experiment size) are
+// scheduled on a bounded worker pool driving the existing cycle-accurate
+// path through tune::evaluate. Three layers keep duplicate work at zero:
+//
+//   1. *In-flight dedup*: a request whose config hash matches a queued or
+//      running job attaches to it instead of resimulating -- one
+//      simulation serves every attached requester.
+//   2. *In-memory memo*: results completed during this server's lifetime
+//      are kept by hash; a later identical request is a lookup.
+//   3. *Persistent cache*: the tune::ResultCache on disk; a warm start
+//      serves previously simulated configs with zero simulations.
+//
+// Determinism invariant (DESIGN.md section 13, in the spirit of the
+// engine-equivalence invariant of section 10): for any worker count and
+// submission order, the response *payload* for a given config hash is
+// byte-identical to a direct single-threaded tune::evaluate run -- dedup,
+// memo and cache are pure reorderings of who computes/reads a result,
+// never of the result itself.
+//
+// Cancellation and deadlines are cooperative: checked when a worker picks
+// a job up, between the expensive execution phases (problem build,
+// simulation), and at result delivery. A cancelled request never blocks a
+// duplicate requester: the simulation proceeds while any attached request
+// still wants the result, and each request gets its own verdict.
+//
+// Telemetry (obs registry): counters svc.jobs.{submitted, completed,
+// cancelled, rejected, deduped, cache_hit, simulated, internal_errors},
+// gauges svc.queue.depth / svc.queue.peak_depth, and per-phase latency
+// timers svc.phase.{queue, lookup, simulate, serialize}.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/run.h"
+#include "src/obs/registry.h"
+#include "src/svc/queue.h"
+#include "src/svc/wire.h"
+#include "src/tune/cache.h"
+
+namespace smd::svc {
+
+struct ServerOptions {
+  int workers = 2;            ///< worker threads; < 1 is a config error
+  std::size_t queue_cap = 1024;
+  /// Persistent result cache path ("" = in-memory memo only). Loaded at
+  /// construction (warm hit => zero simulations), saved at shutdown via
+  /// an atomic temp-file + rename write.
+  std::string cache_path;
+  std::string salt = tune::kModelVersion;
+  /// Per-request resource budget: the largest experiment a request may
+  /// ask for (the simulator runs one force step, so molecules x steps
+  /// reduces to molecules). Over-budget requests reject structurally.
+  int max_molecules = 1 << 20;
+  sim::SimEngine engine = sim::SimEngine::kEvent;
+};
+
+/// Streaming progress, delivered per request through the callback given
+/// to submit(): queued -> started -> done (rejections jump to done).
+enum class JobPhase { kQueued, kStarted, kDone };
+
+struct Progress {
+  std::string id;
+  std::uint64_t config_hash = 0;
+  JobPhase phase = JobPhase::kQueued;
+};
+using ProgressFn = std::function<void(const Progress&)>;
+
+/// Internal per-request state; clients hold it through JobHandle.
+struct RequestSlot {
+  std::string id;
+  std::uint64_t hash = 0;
+  bool leader = false;  ///< first request of its job (it named the config)
+  std::chrono::steady_clock::time_point submitted;
+  std::chrono::steady_clock::time_point deadline;  ///< ::max() when none
+  ProgressFn progress;
+  std::atomic<bool> cancel_requested{false};
+
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  bool done = false;
+  Response resp;
+};
+
+/// Future-like view of one submitted request.
+class JobHandle {
+ public:
+  JobHandle() = default;
+  bool valid() const { return slot_ != nullptr; }
+  bool done() const;
+  /// Block until the request finished (completed, cancelled or rejected).
+  const Response& wait() const;
+  const std::string& id() const { return slot_->id; }
+
+ private:
+  friend class Server;
+  explicit JobHandle(std::shared_ptr<RequestSlot> slot)
+      : slot_(std::move(slot)) {}
+  std::shared_ptr<RequestSlot> slot_;
+};
+
+/// One unit of queued work: a unique config hash and every request
+/// attached to it. slots is guarded by the owning Server's mutex.
+struct InflightJob {
+  std::uint64_t hash = 0;
+  tune::Candidate config;
+  int n_molecules = 0;
+  int priority = 0;
+  std::vector<std::shared_ptr<RequestSlot>> slots;
+};
+
+/// Process-wide cache of core::Problem by molecule count. Problem
+/// construction (system + neighbor list + reference forces) is the
+/// expensive deterministic prefix shared by every config at a given
+/// size; building it once per size is what lets the load bench submit
+/// thousands of requests without re-deriving the dataset each time.
+/// tune::evaluate re-points the L/strip knobs per candidate itself.
+class ProblemPool {
+ public:
+  static ProblemPool& shared();
+  /// Get-or-build (blocking: concurrent requests for the same size wait
+  /// for the single build instead of duplicating it).
+  std::shared_ptr<const core::Problem> get(int n_molecules);
+
+ private:
+  std::mutex mu_;
+  std::map<int, std::shared_ptr<const core::Problem>> pool_;
+};
+
+class Server {
+ public:
+  /// Spawns the worker pool. Throws std::invalid_argument on a
+  /// non-positive worker count or queue capacity.
+  explicit Server(ServerOptions opts);
+  ~Server();  // shutdown()
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Submit one request. Always returns a handle: rejections (queue
+  /// full, over budget, bad config, shutting down) resolve it
+  /// immediately with the structured error; accepted requests resolve
+  /// when a worker (or a dedup/cache hit) finishes them.
+  JobHandle submit(Request req, ProgressFn progress = nullptr);
+
+  /// Request cooperative cancellation of every live request with this
+  /// id; returns how many were newly marked. Already-running jobs check
+  /// the flag between execution phases and at delivery.
+  std::size_t cancel(const std::string& id);
+
+  /// Block until every accepted request has resolved.
+  void drain();
+
+  /// Stop accepting, finish everything queued, join workers, persist the
+  /// cache. Idempotent; the destructor calls it.
+  void shutdown();
+
+  const ServerOptions& options() const { return opts_; }
+  std::size_t queue_depth() const { return queue_.depth(); }
+  std::size_t queue_peak_depth() const { return queue_.peak_depth(); }
+
+ private:
+  struct CachedResult {
+    tune::Metrics metrics;
+    std::string payload;
+  };
+  struct JobOutcome {
+    ErrorCode error = ErrorCode::kOk;
+    std::string message;
+    std::string served_by;  ///< leader's provenance: "sim" or "cache"
+    tune::Metrics metrics;
+    std::string payload;
+    std::int64_t lookup_ns = 0;
+    std::int64_t simulate_ns = 0;
+    std::int64_t serialize_ns = 0;
+  };
+
+  JobHandle reject(const std::shared_ptr<RequestSlot>& slot, ErrorCode code,
+                   std::string message);
+  void worker_loop();
+  void execute(const std::shared_ptr<InflightJob>& job);
+  /// Detach the job's slots (erasing it from the in-flight index) and
+  /// deliver each slot's verdict: its own cancel/deadline state wins over
+  /// the job-level outcome.
+  void finish(const std::shared_ptr<InflightJob>& job,
+              std::chrono::steady_clock::time_point exec_start,
+              const JobOutcome& outcome);
+  void fulfill(const std::shared_ptr<RequestSlot>& slot, Response resp,
+               bool tracked);
+  static void notify(const std::shared_ptr<RequestSlot>& slot, JobPhase phase);
+
+  ServerOptions opts_;
+  obs::CounterRegistry& reg_;  ///< resolved once so all threads agree
+  JobQueue queue_;
+
+  mutable std::mutex mu_;  // inflight_, by_id_, memo_, cache_, outstanding_
+  std::condition_variable drain_cv_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<InflightJob>> inflight_;
+  std::unordered_multimap<std::string, std::shared_ptr<RequestSlot>> by_id_;
+  std::unordered_map<std::uint64_t, CachedResult> memo_;
+  tune::ResultCache cache_;
+  std::size_t outstanding_ = 0;
+  bool shutdown_ = false;
+
+  std::atomic<std::uint64_t> next_id_{0};
+  std::vector<std::thread> workers_;  // last: joins before members die
+};
+
+}  // namespace smd::svc

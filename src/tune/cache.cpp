@@ -4,6 +4,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "src/obs/registry.h"
 #include "src/tune/runner.h"
 
 namespace smd::tune {
@@ -37,21 +38,33 @@ std::size_t ResultCache::load() {
   try {
     doc = obs::load_file(path_);
   } catch (const std::exception&) {
-    return 0;  // unreadable/corrupt: start over (save() rewrites it)
+    // Unreadable or torn file (e.g. a crash mid-write before the atomic
+    // rename discipline existed): an empty cache, never a poisoned warm
+    // start. The counter makes the silent skip observable.
+    obs::CounterRegistry::global().add("tune.cache.load_corrupt");
+    return 0;
   }
   const obs::Json* version = doc.find("schema_version");
   const obs::Json* salt = doc.find("salt");
   const obs::Json* entries = doc.find("entries");
-  if (version == nullptr || version->as_int() != 1 || salt == nullptr ||
-      salt->as_string() != salt_ || entries == nullptr ||
-      !entries->is_object()) {
+  if (version == nullptr || !version->is_number() || version->as_int() != 1 ||
+      salt == nullptr || !salt->is_string() || salt->as_string() != salt_ ||
+      entries == nullptr || !entries->is_object()) {
     return 0;  // model version changed: every entry is stale
   }
   for (const auto& [key, value] : entries->items()) {
-    Entry e;
-    e.config = value.at("config");
-    e.metrics = value.at("metrics");
-    entries_.emplace(parse_hash_hex(key), std::move(e));
+    // A malformed entry (hand-edited, or produced by a newer layout) is
+    // skipped -- it will simply re-simulate -- instead of discarding the
+    // whole cache or throwing out of a warm start.
+    try {
+      Entry e;
+      e.config = value.at("config");
+      e.metrics = value.at("metrics");
+      (void)Metrics::from_json(e.metrics);  // must parse back as metrics
+      entries_.emplace(parse_hash_hex(key), std::move(e));
+    } catch (const std::exception&) {
+      obs::CounterRegistry::global().add("tune.cache.load_skipped");
+    }
   }
   return entries_.size();
 }
@@ -86,7 +99,9 @@ void ResultCache::save() {
   doc.set("schema_version", 1);
   doc.set("salt", salt_);
   doc.set("entries", std::move(entries));
-  obs::write_file(doc, path_);
+  // Atomic temp-file + rename: a crash mid-save leaves the previous cache
+  // intact instead of a torn JSON document poisoning every warm start.
+  obs::write_file_atomic(doc, path_);
   dirty_ = false;
 }
 

@@ -14,7 +14,11 @@
 //                ...}}
 //
 // The cache itself is not thread-safe: the Runner performs lookups before
-// spawning workers and inserts after joining them.
+// spawning workers and inserts after joining them, and the svc::Server
+// serializes all access behind its own mutex. save() is crash-safe
+// (atomic temp-file + rename) and load() tolerates torn or hand-mangled
+// files, so concurrent *processes* sharing one cache path get
+// last-writer-wins rather than corruption.
 #pragma once
 
 #include <cstdint>
@@ -42,8 +46,10 @@ class ResultCache {
   const std::string& salt() const { return salt_; }
 
   /// Load path() if it exists. A missing file is an empty cache; a file
-  /// with a different salt or schema version is discarded wholesale.
-  /// Returns the number of entries loaded.
+  /// with a different salt or schema version is discarded wholesale; a
+  /// corrupt/truncated file or a malformed entry is skipped with a
+  /// counter (tune.cache.load_corrupt / tune.cache.load_skipped), never
+  /// thrown. Returns the number of entries loaded.
   std::size_t load();
 
   /// Copy the cached metrics for `hash` into *out; false on miss.
@@ -51,8 +57,10 @@ class ResultCache {
 
   void insert(std::uint64_t hash, const Candidate& cand, const Metrics& m);
 
-  /// Write the cache (pretty JSON, sorted by hash). No-op when disabled
-  /// or when nothing was inserted since load(). Throws on I/O failure.
+  /// Write the cache (pretty JSON, sorted by hash) via an atomic
+  /// temp-file + rename, so a crash mid-save never leaves a torn file.
+  /// No-op when disabled or when nothing was inserted since load().
+  /// Throws on I/O failure.
   void save();
 
   std::size_t size() const { return entries_.size(); }

@@ -14,6 +14,8 @@ std::string fmt_double(double v) {
   return buf;
 }
 
+}  // namespace
+
 core::Variant parse_variant(const std::string& s) {
   for (core::Variant v :
        {core::Variant::kExpanded, core::Variant::kFixed,
@@ -33,6 +35,8 @@ sim::SdrPolicy parse_sdr(const std::string& s) {
 const char* sdr_name(sim::SdrPolicy p) {
   return p == sim::SdrPolicy::kConservative ? "conservative" : "transfer";
 }
+
+namespace {
 
 std::int64_t parse_int(const std::string& axis, const std::string& s) {
   try {

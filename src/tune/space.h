@@ -62,6 +62,13 @@ struct Candidate {
 /// FNV-1a over key() and the salt: stable across runs and platforms.
 std::uint64_t config_hash(const Candidate& c, const std::string& salt = "");
 
+/// Axis-value parsing/printing shared by the sweep parser, the candidate
+/// JSON round-trip and the svc wire format. Throw std::invalid_argument
+/// on unknown names.
+core::Variant parse_variant(const std::string& s);
+sim::SdrPolicy parse_sdr(const std::string& s);
+const char* sdr_name(sim::SdrPolicy p);
+
 /// Axis names ConfigSpace::set accepts, in canonical order:
 ///   variant, L, blocking, sdr, strip, unroll, swp, clusters, srf_kb,
 ///   dram_gbps, cache_gbps

@@ -325,6 +325,41 @@ TEST(TraceSink, WorkerShardEventsLandExactlyOnceAfterMerge) {
             backward.chrome_json().at("traceEvents").size());
 }
 
+// Timer snapshot consistency under concurrency: add_seconds updates the
+// `<name>.seconds` gauge and the `<name>.calls` counter under one lock,
+// so any snapshot (to_json takes the same lock) observes them in
+// agreement -- calls x 1.0s each means the two values are equal at every
+// instant. The svc server's per-phase timers rely on this.
+TEST(Registry, ThreadedTimerSnapshotsAreConsistent) {
+  CounterRegistry reg;
+  constexpr int kWriters = 4;
+  constexpr int kAddsPerWriter = 400;
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&reg] {
+      for (int i = 0; i < kAddsPerWriter; ++i) {
+        reg.add_seconds("svc.phase.test", 1.0);
+      }
+    });
+  }
+  int snapshots = 0;
+  while (reg.counter("svc.phase.test.calls") < kWriters * kAddsPerWriter) {
+    const Json snap = reg.to_json();
+    const Json* calls = snap.at("counters").find("svc.phase.test.calls");
+    const Json* secs = snap.at("gauges").find("svc.phase.test.seconds");
+    const std::int64_t n = calls == nullptr ? 0 : calls->as_int();
+    const double s = secs == nullptr ? 0.0 : secs->as_double();
+    EXPECT_DOUBLE_EQ(s, static_cast<double>(n))
+        << "snapshot " << snapshots << " tore a timer update apart";
+    ++snapshots;
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(reg.counter("svc.phase.test.calls"), kWriters * kAddsPerWriter);
+  EXPECT_DOUBLE_EQ(reg.gauge("svc.phase.test.seconds"),
+                   static_cast<double>(kWriters * kAddsPerWriter));
+}
+
 TEST(TraceSink, WriteProducesLoadableFile) {
   TraceSink sink;
   sink.add({"op", "memory", 0, 1, 0, 10});

@@ -1,0 +1,463 @@
+// Tests for the simulation service (src/svc/): wire-format round-trips
+// and strictness, job-queue ordering and bounds, server lifecycle and
+// structured rejections, the three dedup layers, cancellation and
+// deadlines, and the two cross-cutting properties DESIGN.md section 13
+// pins down -- counter conservation (submitted == completed + cancelled +
+// rejected) and payload byte-identity across worker counts. The whole
+// binary runs under the tsan preset in scripts/check.sh, so every
+// assertion here doubles as a data-race probe.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/registry.h"
+#include "src/svc/queue.h"
+#include "src/svc/server.h"
+#include "src/svc/wire.h"
+#include "src/tune/runner.h"
+
+namespace smd::svc {
+namespace {
+
+// Simulation cost dominates; keep test experiments small. 16 molecules
+// simulates in ~10 ms; 64 in ~40 ms (used where a job must stay busy
+// long enough to cancel behind).
+constexpr int kSmall = 16;
+constexpr int kSlow = 64;
+
+struct Deltas {
+  std::int64_t submitted, completed, cancelled, rejected, deduped, simulated,
+      cache_hit;
+};
+
+class CounterProbe {
+ public:
+  CounterProbe() : reg_(obs::CounterRegistry::process()) {
+    base_ = read();
+  }
+  Deltas delta() const {
+    const Deltas now = read();
+    return {now.submitted - base_.submitted, now.completed - base_.completed,
+            now.cancelled - base_.cancelled, now.rejected - base_.rejected,
+            now.deduped - base_.deduped,     now.simulated - base_.simulated,
+            now.cache_hit - base_.cache_hit};
+  }
+
+ private:
+  Deltas read() const {
+    return {reg_.counter("svc.jobs.submitted"),
+            reg_.counter("svc.jobs.completed"),
+            reg_.counter("svc.jobs.cancelled"),
+            reg_.counter("svc.jobs.rejected"),
+            reg_.counter("svc.jobs.deduped"),
+            reg_.counter("svc.jobs.simulated"),
+            reg_.counter("svc.jobs.cache_hit")};
+  }
+  obs::CounterRegistry& reg_;
+  Deltas base_{};
+};
+
+Request small_request(const std::string& id, core::Variant v = core::Variant::kVariable) {
+  Request r;
+  r.id = id;
+  r.config.variant = v;
+  r.n_molecules = kSmall;
+  return r;
+}
+
+// ---- Wire format. ---------------------------------------------------------
+
+TEST(Wire, RequestRoundTripAndDefaults) {
+  Request r;
+  r.id = "r1";
+  r.config.variant = core::Variant::kFixed;
+  r.config.fixed_list_length = 12;
+  r.n_molecules = 128;
+  r.priority = 3;
+  r.timeout_ms = 250;
+  const Request back = Request::from_json(r.to_json());
+  EXPECT_EQ(back.id, "r1");
+  EXPECT_EQ(back.config.key(), r.config.key());
+  EXPECT_EQ(back.n_molecules, 128);
+  EXPECT_EQ(back.priority, 3);
+  EXPECT_EQ(back.timeout_ms, 250);
+
+  // All fields optional: an empty object is the default request.
+  const Request dflt = Request::from_json(obs::Json::object());
+  EXPECT_EQ(dflt.config.key(), tune::Candidate{}.key());
+  EXPECT_EQ(dflt.n_molecules, 900);
+  EXPECT_EQ(dflt.priority, 0);
+}
+
+TEST(Wire, UnknownKeysAndBadBatchesThrow) {
+  obs::Json j = obs::Json::object();
+  j.set("frobnicate", 1);
+  EXPECT_THROW(Request::from_json(j), WireError);
+
+  obs::Json nested = obs::Json::object();
+  obs::Json cfg = obs::Json::object();
+  cfg.set("no_such_axis", 2);
+  nested.set("config", std::move(cfg));
+  EXPECT_THROW(Request::from_json(nested), WireError);
+
+  EXPECT_THROW(parse_request_file(obs::Json("not a batch")), WireError);
+  obs::Json vfuture = obs::Json::object();
+  vfuture.set("schema_version", 999);
+  vfuture.set("requests", obs::Json::array());
+  EXPECT_THROW(parse_request_file(vfuture), WireError);
+}
+
+TEST(Wire, ErrorCodeNamesRoundTrip) {
+  for (const ErrorCode c :
+       {ErrorCode::kOk, ErrorCode::kBadRequest, ErrorCode::kQueueFull,
+        ErrorCode::kShutdown, ErrorCode::kBudgetExceeded, ErrorCode::kCancelled,
+        ErrorCode::kDeadlineExceeded, ErrorCode::kInternal}) {
+    EXPECT_EQ(parse_error_code(error_code_name(c)), c);
+  }
+  EXPECT_THROW(parse_error_code("nonsense"), WireError);
+}
+
+TEST(Wire, RequestHashMixesMoleculeCount) {
+  const tune::Candidate c;
+  EXPECT_NE(request_hash(c, 64, tune::kModelVersion),
+            request_hash(c, 128, tune::kModelVersion));
+  EXPECT_EQ(request_hash(c, 64, tune::kModelVersion),
+            request_hash(c, 64, tune::kModelVersion));
+}
+
+TEST(Wire, ResponsePayloadRoundTripsByteIdentically) {
+  Response r;
+  r.id = "x";
+  r.config_hash = 0xabcdef0123456789ull;
+  r.served_by = "sim";
+  r.metrics.time_ms = 1.25;
+  r.metrics.source = "sim";
+  r.payload = payload_text(r.config_hash, tune::Candidate{}, 64, r.metrics);
+  r.total_ns = 12345;
+  const Response back = Response::from_json(r.to_json());
+  EXPECT_EQ(back.payload, r.payload);
+  EXPECT_EQ(back.config_hash, r.config_hash);
+  EXPECT_EQ(back.total_ns, 12345);
+}
+
+// ---- Queue ordering and bounds. -------------------------------------------
+
+std::shared_ptr<InflightJob> job(std::uint64_t hash, int priority) {
+  auto j = std::make_shared<InflightJob>();
+  j->hash = hash;
+  j->priority = priority;
+  return j;
+}
+
+TEST(Queue, PriorityThenFifo) {
+  JobQueue q(16);
+  ASSERT_TRUE(q.push(0, job(1, 0)));
+  ASSERT_TRUE(q.push(5, job(2, 5)));
+  ASSERT_TRUE(q.push(0, job(3, 0)));
+  ASSERT_TRUE(q.push(5, job(4, 5)));
+  // Priority 5 first (FIFO within: 2 then 4), then priority 0 (1 then 3).
+  EXPECT_EQ(q.pop()->hash, 2u);
+  EXPECT_EQ(q.pop()->hash, 4u);
+  EXPECT_EQ(q.pop()->hash, 1u);
+  EXPECT_EQ(q.pop()->hash, 3u);
+}
+
+TEST(Queue, CapacityAndCloseSemantics) {
+  JobQueue q(2);
+  EXPECT_TRUE(q.push(0, job(1, 0)));
+  EXPECT_TRUE(q.push(0, job(2, 0)));
+  EXPECT_FALSE(q.push(0, job(3, 0))) << "over-capacity push must fail";
+  EXPECT_EQ(q.depth(), 2u);
+  EXPECT_EQ(q.peak_depth(), 2u);
+  q.close();
+  EXPECT_FALSE(q.push(0, job(4, 0))) << "closed queue must refuse pushes";
+  // Already-queued jobs still drain after close; then nullptr forever.
+  EXPECT_NE(q.pop(), nullptr);
+  EXPECT_NE(q.pop(), nullptr);
+  EXPECT_EQ(q.pop(), nullptr);
+  EXPECT_EQ(q.pop(), nullptr);
+}
+
+// ---- Server lifecycle and structured rejections. --------------------------
+
+TEST(Server, InvalidConfigurationThrows) {
+  ServerOptions zero_workers;
+  zero_workers.workers = 0;
+  EXPECT_THROW(Server{zero_workers}, std::invalid_argument);
+  ServerOptions zero_cap;
+  zero_cap.queue_cap = 0;
+  EXPECT_THROW(Server{zero_cap}, std::invalid_argument);
+}
+
+TEST(Server, StructuredRejections) {
+  CounterProbe probe;
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.max_molecules = 32;
+  Server server(opts);
+
+  Request bad = small_request("bad");
+  bad.n_molecules = -1;
+  EXPECT_EQ(server.submit(bad).wait().error, ErrorCode::kBadRequest);
+
+  Request over = small_request("over");
+  over.n_molecules = 64;  // > max_molecules
+  EXPECT_EQ(server.submit(over).wait().error, ErrorCode::kBudgetExceeded);
+
+  Request invalid = small_request("invalid");
+  invalid.config.n_clusters = -4;  // machine config fails validation
+  const Response r = server.submit(invalid).wait();
+  EXPECT_EQ(r.error, ErrorCode::kBadRequest);
+  EXPECT_FALSE(r.message.empty());
+
+  server.shutdown();
+  EXPECT_EQ(server.submit(small_request("late")).wait().error,
+            ErrorCode::kShutdown);
+
+  const Deltas d = probe.delta();
+  EXPECT_EQ(d.submitted, 4);
+  EXPECT_EQ(d.rejected, 4);
+  EXPECT_EQ(d.completed + d.cancelled, 0);
+  EXPECT_EQ(d.simulated, 0);
+}
+
+// ---- Correctness: payload identity and dedup. -----------------------------
+
+TEST(Server, PayloadMatchesDirectSingleThreadedRun) {
+  core::ExperimentSetup setup;
+  setup.n_molecules = kSmall;
+  const core::Problem problem = core::Problem::make(setup);
+  tune::Candidate cand;
+  cand.variant = core::Variant::kFixed;
+  const tune::Metrics direct = tune::evaluate(problem, cand);
+  const std::uint64_t hash =
+      request_hash(cand, kSmall, tune::kModelVersion);
+  const std::string want = payload_text(hash, cand, kSmall, direct);
+
+  ServerOptions opts;
+  opts.workers = 2;
+  Server server(opts);
+  Request req = small_request("p1", core::Variant::kFixed);
+  const Response r = server.submit(req).wait();
+  ASSERT_TRUE(r.ok()) << r.message;
+  EXPECT_EQ(r.config_hash, hash);
+  EXPECT_EQ(r.payload, want) << "server payload differs from direct run";
+  EXPECT_EQ(r.served_by, "sim");
+}
+
+TEST(Server, DuplicatesSimulateExactlyOnce) {
+  CounterProbe probe;
+  ServerOptions opts;
+  opts.workers = 2;
+  Server server(opts);
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 6; ++i) {
+    handles.push_back(server.submit(small_request("dup-" + std::to_string(i))));
+  }
+  server.drain();
+  std::string payload;
+  for (const auto& h : handles) {
+    const Response& r = h.wait();
+    ASSERT_TRUE(r.ok()) << r.message;
+    if (payload.empty()) payload = r.payload;
+    EXPECT_EQ(r.payload, payload);
+  }
+  const Deltas d = probe.delta();
+  EXPECT_EQ(d.submitted, 6);
+  EXPECT_EQ(d.completed, 6);
+  EXPECT_EQ(d.simulated, 1) << "duplicates must attach, not re-simulate";
+
+  // Resubmission after completion: in-memory memo, still no simulation.
+  const Response again = server.submit(small_request("again")).wait();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.payload, payload);
+  EXPECT_EQ(again.served_by, "cache");
+  EXPECT_EQ(probe.delta().simulated, 1);
+}
+
+TEST(Server, WarmPersistentCacheServesWithZeroSimulations) {
+  const std::string path = testing::TempDir() + "/svc_test_cache.json";
+  std::remove(path.c_str());
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.cache_path = path;
+  std::string payload;
+  {
+    Server server(opts);
+    const Response r = server.submit(small_request("cold")).wait();
+    ASSERT_TRUE(r.ok());
+    payload = r.payload;
+  }  // shutdown saves the cache atomically
+  CounterProbe probe;
+  {
+    Server server(opts);
+    const Response r = server.submit(small_request("warm")).wait();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.served_by, "cache");
+    EXPECT_EQ(r.payload, payload) << "persistent cache altered the payload";
+  }
+  const Deltas d = probe.delta();
+  EXPECT_EQ(d.simulated, 0);
+  EXPECT_EQ(d.cache_hit, 1);
+  std::remove(path.c_str());
+}
+
+// ---- Cancellation, deadlines, queue-full. ---------------------------------
+
+TEST(Server, CancelBeforeRunAndQueueFull) {
+  CounterProbe probe;
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.queue_cap = 1;
+  Server server(opts);
+
+  // Occupy the single worker with a slow job (~40 ms)...
+  Request slow = small_request("slow");
+  slow.n_molecules = kSlow;
+  JobHandle busy = server.submit(slow);
+  // ...wait until the worker picked it up (the queue slot frees)...
+  while (server.queue_depth() > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  // ...queue a victim behind it and cancel it long before it can start.
+  JobHandle victim = server.submit(small_request("victim"));
+  EXPECT_EQ(server.cancel("victim"), 1u);
+  EXPECT_EQ(server.cancel("no-such-id"), 0u);
+  // The queue (cap 1) now holds the victim: a third job must reject.
+  const Response full = server.submit(small_request("third", core::Variant::kExpanded)).wait();
+  EXPECT_EQ(full.error, ErrorCode::kQueueFull);
+
+  EXPECT_EQ(victim.wait().error, ErrorCode::kCancelled);
+  EXPECT_TRUE(busy.wait().ok());
+  server.drain();
+  const Deltas d = probe.delta();
+  EXPECT_EQ(d.submitted, 3);
+  EXPECT_EQ(d.completed, 1);
+  EXPECT_EQ(d.cancelled, 1);
+  EXPECT_EQ(d.rejected, 1);
+  EXPECT_EQ(d.simulated, 1) << "the cancelled job must not simulate";
+}
+
+TEST(Server, DeadlineExceededBehindSlowJob) {
+  ServerOptions opts;
+  opts.workers = 1;
+  Server server(opts);
+  Request slow = small_request("slow");
+  slow.n_molecules = kSlow;  // ~40 ms >> the 1 ms deadline behind it
+  JobHandle busy = server.submit(slow);
+  Request hurried = small_request("hurried", core::Variant::kExpanded);
+  hurried.timeout_ms = 1;
+  const Response r = server.submit(hurried).wait();
+  EXPECT_EQ(r.error, ErrorCode::kDeadlineExceeded);
+  EXPECT_TRUE(busy.wait().ok());
+}
+
+// A cancelled duplicate never blocks the other requesters of its config:
+// the simulation proceeds and everyone else still gets the result.
+TEST(Server, CancelledDuplicateDoesNotPoisonTheJob) {
+  ServerOptions opts;
+  opts.workers = 1;
+  Server server(opts);
+  Request slow = small_request("slow");
+  slow.n_molecules = kSlow;
+  JobHandle busy = server.submit(slow);
+  while (server.queue_depth() > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  JobHandle keep = server.submit(small_request("keep"));
+  JobHandle drop = server.submit(small_request("drop"));  // same config: attaches
+  EXPECT_EQ(server.cancel("drop"), 1u);
+  EXPECT_EQ(drop.wait().error, ErrorCode::kCancelled);
+  const Response& kept = keep.wait();
+  ASSERT_TRUE(kept.ok()) << kept.message;
+  EXPECT_FALSE(kept.payload.empty());
+  EXPECT_TRUE(busy.wait().ok());
+}
+
+// ---- The randomized concurrency property. ---------------------------------
+//
+// A fixed-seed random mix of duplicate configs, priorities, tight
+// deadlines and mid-stream cancellations, replayed at several worker
+// counts. Two invariants must hold for every run:
+//   1. conservation: submitted == completed + cancelled + rejected;
+//   2. determinism: every kOk payload for a config is byte-identical to
+//      the single-threaded reference payload of that config.
+TEST(ServerProperty, RandomMixConservesCountersAndPayloads) {
+  constexpr int kRequests = 48;
+  constexpr int kUnique = 5;
+
+  // Reference payloads, computed once, single-threaded, outside a server.
+  core::ExperimentSetup setup;
+  setup.n_molecules = kSmall;
+  const core::Problem problem = core::Problem::make(setup);
+  std::vector<tune::Candidate> configs(kUnique);
+  std::vector<std::string> want(kUnique);
+  for (int u = 0; u < kUnique; ++u) {
+    configs[u].unroll = 1 + u;  // distinct, all valid
+    const tune::Metrics m = tune::evaluate(problem, configs[u]);
+    want[u] = payload_text(request_hash(configs[u], kSmall,
+                                        tune::kModelVersion),
+                           configs[u], kSmall, m);
+  }
+
+  for (const int workers : {1, 4}) {
+    CounterProbe probe;
+    std::mt19937 rng(20260809);  // same mix for every worker count
+    ServerOptions opts;
+    opts.workers = workers;
+    opts.queue_cap = 8;  // tight: the mix provokes real kQueueFull paths
+    Server server(opts);
+    std::vector<JobHandle> handles;
+    std::vector<int> config_of;
+    for (int i = 0; i < kRequests; ++i) {
+      Request req;
+      req.id = "mix-" + std::to_string(i);
+      const int u = static_cast<int>(rng() % kUnique);
+      req.config = configs[u];
+      req.n_molecules = kSmall;
+      req.priority = static_cast<int>(rng() % 3);
+      if (rng() % 8 == 0) req.timeout_ms = 1;     // some tight deadlines
+      handles.push_back(server.submit(req));
+      config_of.push_back(u);
+      if (rng() % 6 == 0) {                       // some mid-stream cancels
+        server.cancel("mix-" + std::to_string(rng() % (i + 1)));
+      }
+    }
+    server.drain();
+    int completed = 0, cancelled = 0, rejected = 0;
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      const Response& r = handles[i].wait();
+      switch (r.error) {
+        case ErrorCode::kOk:
+          ++completed;
+          EXPECT_EQ(r.payload, want[static_cast<std::size_t>(config_of[i])])
+              << "payload for " << r.id << " differs from the reference at "
+              << workers << " workers";
+          break;
+        case ErrorCode::kCancelled:
+        case ErrorCode::kDeadlineExceeded: ++cancelled; break;
+        default: ++rejected; break;
+      }
+    }
+    server.shutdown();
+    const Deltas d = probe.delta();
+    EXPECT_EQ(d.submitted, kRequests);
+    EXPECT_EQ(d.completed, completed);
+    EXPECT_EQ(d.cancelled, cancelled);
+    EXPECT_EQ(d.rejected, rejected);
+    EXPECT_EQ(d.submitted, d.completed + d.cancelled + d.rejected)
+        << "counter conservation violated at " << workers << " workers";
+    EXPECT_LE(d.simulated, kUnique) << "more simulations than unique configs";
+    EXPECT_GT(completed, 0) << "the mix should complete at least one request";
+  }
+}
+
+}  // namespace
+}  // namespace smd::svc

@@ -247,6 +247,82 @@ TEST(Cache, SaltMismatchDiscardsAndCorruptFileIsEmpty) {
   std::remove(path.c_str());
 }
 
+// Crash/concurrency-safety of the persistent cache (DESIGN.md section
+// 13): a truncated (torn) file or a malformed entry is tolerated with a
+// counter, never thrown, and save() goes through the atomic temp+rename
+// so no .tmp litter survives a successful save.
+TEST(Cache, TornFileAndMalformedEntriesAreTolerated) {
+  const std::string path = testing::TempDir() + "/tune_test_torn.json";
+  auto& reg = obs::CounterRegistry::process();
+
+  // Build a valid one-entry cache file, then truncate it mid-document.
+  {
+    ResultCache cache(path, kModelVersion);
+    Metrics m;
+    m.time_ms = 2.5;
+    m.source = "sim";
+    cache.insert(config_hash(Candidate{}, kModelVersion), Candidate{}, m);
+    cache.save();
+    EXPECT_EQ(std::remove((path + ".tmp").c_str()), -1)
+        << "atomic save left its temp file behind";
+  }
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long full = std::ftell(f);
+    std::fclose(f);
+    ASSERT_GT(full, 32);
+    std::string head(static_cast<std::size_t>(full) / 2, '\0');
+    f = std::fopen(path.c_str(), "r");
+    ASSERT_EQ(std::fread(head.data(), 1, head.size(), f), head.size());
+    std::fclose(f);
+    f = std::fopen(path.c_str(), "w");
+    std::fwrite(head.data(), 1, head.size(), f);
+    std::fclose(f);
+  }
+  const std::int64_t corrupt0 = reg.counter("tune.cache.load_corrupt");
+  {
+    ResultCache torn(path, kModelVersion);
+    EXPECT_EQ(torn.load(), 0u);  // no throw: empty cache
+  }
+  EXPECT_EQ(reg.counter("tune.cache.load_corrupt") - corrupt0, 1);
+
+  // One good entry plus two malformed ones (bad key, missing metrics):
+  // the good entry loads, the bad ones are skipped and counted.
+  {
+    obs::Json good = obs::Json::object();
+    Metrics m;
+    m.time_ms = 1.0;
+    m.source = "sim";
+    good.set("config", Candidate{}.to_json());
+    good.set("metrics", m.to_json());
+    obs::Json bad_key = good;  // valid body under an unparsable key
+    obs::Json no_metrics = obs::Json::object();
+    no_metrics.set("config", Candidate{}.to_json());
+    obs::Json entries = obs::Json::object();
+    entries.set(hash_hex(config_hash(Candidate{}, kModelVersion)),
+                std::move(good));
+    entries.set("not-a-hash", std::move(bad_key));
+    entries.set(hash_hex(1234), std::move(no_metrics));
+    obs::Json doc = obs::Json::object();
+    doc.set("schema_version", 1);
+    doc.set("salt", kModelVersion);
+    doc.set("entries", std::move(entries));
+    obs::write_file_atomic(doc, path);
+  }
+  const std::int64_t skipped0 = reg.counter("tune.cache.load_skipped");
+  {
+    ResultCache partial(path, kModelVersion);
+    EXPECT_EQ(partial.load(), 1u);
+    Metrics out;
+    EXPECT_TRUE(partial.lookup(config_hash(Candidate{}, kModelVersion), &out));
+    EXPECT_EQ(out.time_ms, 1.0);
+  }
+  EXPECT_EQ(reg.counter("tune.cache.load_skipped") - skipped0, 2);
+  std::remove(path.c_str());
+}
+
 TEST(Pareto, FrontAndBestPerVariant) {
   std::vector<EvalResult> rs(3);
   rs[0].cand.variant = core::Variant::kExpanded;
