@@ -64,6 +64,39 @@ for preset in "${presets[@]}"; do
   # gate for the whole svc worker pool.
   echo "==== smdserve --demo (${preset}) ===="
   "${build_dir[${preset}]}/examples/smdserve" --demo --molecules 64 --workers 4
+  # Telemetry smoke (DESIGN.md section 15): the same demo with the full
+  # tracing surface on. smdserve re-parses its own artifacts at exit --
+  # span trees must partition every request exactly in both the Chrome
+  # trace and the JSONL event log, and periodic stats snapshots must
+  # land -- so a non-zero exit means the tracing pipeline broke.
+  echo "==== smdserve --demo + tracing (${preset}) ===="
+  telemetry_dir="${build_dir[${preset}]}/telemetry-smoke"
+  mkdir -p "${telemetry_dir}"
+  "${build_dir[${preset}]}/examples/smdserve" --demo --molecules 24 --workers 2 \
+    --trace "${telemetry_dir}/trace.json" \
+    --events "${telemetry_dir}/events.jsonl" \
+    --stats-interval 20
+  # The artifacts must also be valid JSON to an outside parser.
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "${telemetry_dir}" <<'PYEOF'
+import json, sys
+d = sys.argv[1]
+doc = json.load(open(d + "/trace.json"))
+assert any(e.get("ph") == "X" and "span" in e.get("args", {})
+           for e in doc["traceEvents"]), "no span slices in trace"
+lines = [json.loads(l) for l in open(d + "/events.jsonl") if l.strip()]
+kinds = {l["type"] for l in lines}
+assert "span" in kinds and "stats" in kinds, f"event log kinds: {kinds}"
+print(f"telemetry artifacts parse back: {len(doc['traceEvents'])} trace "
+      f"events, {len(lines)} event-log lines")
+PYEOF
+  fi
+  # Observability + service suites (DESIGN.md sections 14-15): histogram
+  # quantile bound, span partition property, event-log torn-line
+  # tolerance, exporter cadence. Under every preset -- tsan is the
+  # data-race gate for the svc pool, the histograms and the span log.
+  echo "==== obs suite (${preset}) ===="
+  ctest --preset "${preset}" -R obs_test --output-on-failure
   echo "==== svc property suite (${preset}) ===="
   ctest --preset "${preset}" -R svc_test --output-on-failure
   if [ "${preset}" = default ] || [ "${preset}" = asan-ubsan ]; then

@@ -244,7 +244,7 @@ void append_trace(const StepBreakdown& b, obs::TraceSink& sink) {
     };
     for (const auto& [name, dur] : phases) {
       if (dur == 0) continue;
-      sink.add({name, "parallel", pid, tid, t, dur});
+      sink.add({name, "parallel", pid, tid, t, dur, {}});
       t += dur;
     }
   }

@@ -1,0 +1,71 @@
+#include "src/obs/event_log.h"
+
+#include <utility>
+
+#include "src/obs/registry.h"
+
+namespace smd::obs {
+
+void EventLog::open(std::string path, std::size_t rotate_bytes) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (os_.is_open()) os_.close();
+  os_.open(path, std::ios::binary | std::ios::trunc);
+  if (!os_) throw std::runtime_error("EventLog: cannot open " + path);
+  path_ = std::move(path);
+  rotate_bytes_ = rotate_bytes;
+  bytes_ = 0;
+}
+
+bool EventLog::enabled() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return os_.is_open();
+}
+
+void EventLog::append(const Json& event) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!os_.is_open()) return;
+  const std::string line = event.dump(0);
+  os_ << line << '\n';
+  os_.flush();
+  bytes_ += line.size() + 1;
+  CounterRegistry::global().add("obs.events.appended");
+  if (rotate_bytes_ > 0 && bytes_ > rotate_bytes_) rotate_locked();
+}
+
+void EventLog::rotate_locked() {
+  os_.close();
+  // Republish the finished segment as one well-formed JSON document via
+  // the atomic temp+rename writer; the tolerant reader drops any line a
+  // previous crash tore, so the archive is always parseable.
+  const EventLogLoad seg = load_event_log(path_);
+  Json arr = Json::array();
+  for (const Json& ev : seg.events) arr.push_back(ev);
+  write_file_atomic(arr, archive_path());
+  os_.open(path_, std::ios::binary | std::ios::trunc);
+  bytes_ = 0;
+  CounterRegistry::global().add("obs.events.rotated");
+}
+
+void EventLog::close() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (os_.is_open()) os_.close();
+}
+
+EventLogLoad load_event_log(const std::string& path) {
+  EventLogLoad out;
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return out;  // a missing log is an empty log
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    try {
+      out.events.push_back(Json::parse(line));
+    } catch (const std::exception&) {
+      ++out.dropped;
+      CounterRegistry::global().add("obs.events.load_torn");
+    }
+  }
+  return out;
+}
+
+}  // namespace smd::obs

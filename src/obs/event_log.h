@@ -1,0 +1,71 @@
+// Crash-safe JSONL structured event log (DESIGN.md section 15).
+//
+// append() writes one compact JSON object per line and flushes, so a
+// crash can tear at most the final line. load_event_log() is the
+// tolerant reader: well-formed lines parse, a torn or corrupt line is
+// dropped and counted (`obs.events.load_torn`) — the same
+// never-throw-on-warm-start policy as the result cache's
+// `tune.cache.load_corrupt`.
+//
+// Rotation: when the live file exceeds `rotate_bytes` after an append,
+// the finished segment is republished as one JSON array document through
+// obs::write_file_atomic to "<path>.1" (temp-file + rename: readers see
+// the previous archive or the new one, never a torn file) and the live
+// JSONL restarts empty. A crash between the archive write and the
+// restart can duplicate events (at-least-once), never lose or tear
+// them. Counters: obs.events.appended / obs.events.rotated.
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+
+namespace smd::obs {
+
+class EventLog {
+ public:
+  EventLog() = default;
+  ~EventLog() { close(); }
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Open (truncating) the live file. rotate_bytes == 0 disables
+  /// rotation. Throws std::runtime_error if the file cannot be created.
+  void open(std::string path, std::size_t rotate_bytes = 0);
+
+  bool enabled() const;
+  const std::string& path() const { return path_; }
+  /// The rotation archive next to the live file: "<path>.1".
+  std::string archive_path() const { return path_ + ".1"; }
+
+  /// One compact line + flush; rotates afterwards if the live file grew
+  /// past rotate_bytes. No-op when not open.
+  void append(const Json& event);
+
+  void close();
+
+ private:
+  void rotate_locked();
+
+  mutable std::mutex mu_;
+  std::string path_;
+  std::size_t rotate_bytes_ = 0;
+  std::size_t bytes_ = 0;
+  std::ofstream os_;
+};
+
+struct EventLogLoad {
+  std::vector<Json> events;
+  std::size_t dropped = 0;  ///< torn/corrupt lines skipped
+};
+
+/// Tolerant JSONL reload: a missing file is an empty log, a torn or
+/// corrupt line is dropped and counted (obs.events.load_torn), never a
+/// throw.
+EventLogLoad load_event_log(const std::string& path);
+
+}  // namespace smd::obs

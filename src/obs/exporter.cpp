@@ -1,0 +1,98 @@
+#include "src/obs/exporter.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/obs/registry.h"
+#include "src/obs/span.h"
+
+namespace smd::obs {
+
+void StatsExporter::start(Options opts) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  if (opts.interval_ms < 1) opts.interval_ms = 1;
+  opts_ = std::move(opts);
+  stop_requested_ = false;
+  running_ = true;
+  seq_ = 0;
+  started_ns_ = monotonic_ns();
+  thread_ = std::thread(&StatsExporter::run, this);
+}
+
+void StatsExporter::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  emit();  // final snapshot: even sub-interval runs export once
+  const std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+bool StatsExporter::running() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+std::uint64_t StatsExporter::snapshots() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+Json StatsExporter::snapshot_json() {
+  std::function<Json()> extra;
+  std::uint64_t seq = 0;
+  std::int64_t started_ns = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    extra = opts_.extra;
+    seq = seq_++;
+    started_ns = started_ns_ == 0 ? monotonic_ns() : started_ns_;
+  }
+  Json j = Json::object();
+  j.set("type", "stats");
+  j.set("seq", seq);
+  j.set("uptime_ms", (monotonic_ns() - started_ns) / 1'000'000);
+  j.set("registry", CounterRegistry::process().to_json());
+  if (extra) j.set("extra", extra());
+  return j;
+}
+
+void StatsExporter::emit() {
+  EventLog* log = nullptr;
+  std::string path;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    log = opts_.event_log;
+    path = opts_.path;
+  }
+  try {
+    const Json snap = snapshot_json();
+    if (log != nullptr) {
+      log->append(snap);
+    } else if (!path.empty()) {
+      write_file_atomic(snap, path);
+    }
+    CounterRegistry::global().add("obs.exporter.snapshots");
+  } catch (const std::exception&) {
+    CounterRegistry::global().add("obs.exporter.errors");
+  }
+}
+
+void StatsExporter::run() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(opts_.interval_ms),
+                   [&] { return stop_requested_; });
+      if (stop_requested_) return;  // stop() emits the final snapshot
+    }
+    emit();
+  }
+}
+
+}  // namespace smd::obs

@@ -1,0 +1,76 @@
+// Background stats exporter (DESIGN.md section 15).
+//
+// A StatsExporter snapshots the process CounterRegistry (plus an
+// optional caller-supplied `extra` block, which is how the service
+// attaches its latency-histogram JSON) on its own thread every
+// `interval_ms`, writing each snapshot either to the structured event
+// log (one {"type":"stats",...} line) or, when no event log is given,
+// atomically to a standalone JSON file via obs::write_file_atomic.
+// stop() emits one final snapshot so short runs always produce at least
+// one, then joins the thread. Counters: obs.exporter.snapshots /
+// obs.exporter.errors.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/obs/event_log.h"
+#include "src/obs/json.h"
+
+namespace smd::obs {
+
+class StatsExporter {
+ public:
+  struct Options {
+    /// Snapshot cadence; values < 1 are clamped to 1.
+    std::int64_t interval_ms = 1000;
+    /// When non-null, snapshots append to this log as {"type":"stats"}
+    /// events (the log must outlive the exporter).
+    EventLog* event_log = nullptr;
+    /// When non-empty (and event_log is null), each snapshot replaces
+    /// this file atomically — readers always see one complete document.
+    std::string path;
+    /// Optional extra payload merged under "extra" (e.g. the service's
+    /// histogram snapshot). Called on the exporter thread; must be
+    /// thread-safe.
+    std::function<Json()> extra;
+  };
+
+  StatsExporter() = default;
+  ~StatsExporter() { stop(); }
+  StatsExporter(const StatsExporter&) = delete;
+  StatsExporter& operator=(const StatsExporter&) = delete;
+
+  /// Launch the background thread. No-op if already running.
+  void start(Options opts);
+  /// Emit one final snapshot, then join. Safe to call twice / unstarted.
+  void stop();
+
+  bool running() const;
+  /// Snapshots emitted so far (monotonic sequence number of the next
+  /// snapshot).
+  std::uint64_t snapshots() const;
+
+  /// One snapshot document; exposed so tests and --stats one-shots can
+  /// produce the exact shape the background thread writes.
+  Json snapshot_json();
+
+ private:
+  void run();
+  void emit();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::uint64_t seq_ = 0;
+  std::int64_t started_ns_ = 0;
+  Options opts_;
+  std::thread thread_;
+};
+
+}  // namespace smd::obs

@@ -1,0 +1,206 @@
+#include "src/obs/latency_histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace smd::obs {
+namespace {
+
+// 1-ns buckets below kLinearMax; 32 sub-buckets per octave above.
+constexpr std::uint64_t kLinearMax = 64;
+constexpr std::uint64_t kSubBuckets = 32;
+
+/// Exact value for linear buckets, bucket midpoint for log buckets.
+double representative(std::size_t index) {
+  if (index < kLinearMax) return static_cast<double>(index);
+  const std::uint64_t lo = LatencyHistogram::bucket_lo(index);
+  const std::uint64_t hi = LatencyHistogram::bucket_hi(index);
+  return static_cast<double>(lo) + static_cast<double>(hi - lo) / 2.0;
+}
+
+}  // namespace
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t v) {
+  if (v < kLinearMax) return static_cast<std::size_t>(v);
+  // v in [2^m, 2^(m+1)), m >= 6: the top 6 bits select one of the 32
+  // upper sub-buckets (the leading bit is implicit).
+  const int m = std::bit_width(v) - 1;
+  const std::uint64_t offset = (v >> (m - 5)) - kSubBuckets;
+  return static_cast<std::size_t>(kLinearMax +
+                                  static_cast<std::uint64_t>(m - 6) *
+                                      kSubBuckets +
+                                  offset);
+}
+
+std::uint64_t LatencyHistogram::bucket_lo(std::size_t index) {
+  if (index < kLinearMax) return index;
+  const std::uint64_t b = index - kLinearMax;
+  const int m = 6 + static_cast<int>(b / kSubBuckets);
+  const std::uint64_t offset = b % kSubBuckets;
+  return (kSubBuckets + offset) << (m - 5);
+}
+
+std::uint64_t LatencyHistogram::bucket_hi(std::size_t index) {
+  if (index < kLinearMax) return index + 1;
+  const std::uint64_t b = index - kLinearMax;
+  const int m = 6 + static_cast<int>(b / kSubBuckets);
+  return bucket_lo(index) + (std::uint64_t{1} << (m - 5));
+}
+
+LatencyHistogram::LatencyHistogram(const LatencyHistogram& other) {
+  const std::lock_guard<std::mutex> lock(other.mu_);
+  counts_ = other.counts_;
+  count_ = other.count_;
+  sum_ = other.sum_;
+  min_ = other.min_;
+  max_ = other.max_;
+}
+
+LatencyHistogram& LatencyHistogram::operator=(const LatencyHistogram& other) {
+  if (this == &other) return *this;
+  // Snapshot first so the two locks are never held together.
+  const LatencyHistogram snap(other);
+  const std::lock_guard<std::mutex> lock(mu_);
+  counts_ = snap.counts_;
+  count_ = snap.count_;
+  sum_ = snap.sum_;
+  min_ = snap.min_;
+  max_ = snap.max_;
+  return *this;
+}
+
+void LatencyHistogram::record_locked(std::uint64_t v, std::uint64_t n) {
+  const std::size_t idx = bucket_index(v);
+  if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+  counts_[idx] += n;
+  const auto sv = static_cast<std::int64_t>(v);
+  if (count_ == 0) {
+    min_ = sv;
+    max_ = sv;
+  } else {
+    min_ = std::min(min_, sv);
+    max_ = std::max(max_, sv);
+  }
+  count_ += n;
+  sum_ += sv * static_cast<std::int64_t>(n);
+}
+
+void LatencyHistogram::record(std::int64_t ns) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  record_locked(ns < 0 ? 0 : static_cast<std::uint64_t>(ns), 1);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  // Copy the source first so self-merge and lock ordering are non-issues.
+  const LatencyHistogram snap(other);
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (snap.counts_.size() > counts_.size()) counts_.resize(snap.counts_.size(), 0);
+  for (std::size_t i = 0; i < snap.counts_.size(); ++i) {
+    counts_[i] += snap.counts_[i];
+  }
+  if (snap.count_ > 0) {
+    min_ = count_ == 0 ? snap.min_ : std::min(min_, snap.min_);
+    max_ = count_ == 0 ? snap.max_ : std::max(max_, snap.max_);
+    count_ += snap.count_;
+    sum_ += snap.sum_;
+  }
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+std::int64_t LatencyHistogram::sum_ns() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+std::int64_t LatencyHistogram::min_ns() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0 : min_;
+}
+
+std::int64_t LatencyHistogram::max_ns() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0 : max_;
+}
+
+double LatencyHistogram::mean_ns() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double LatencyHistogram::quantile(double q) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // The same rank convention the exact check uses on sorted samples:
+  // index floor(q*n), clamped to the last sample.
+  const std::uint64_t rank = std::min<std::uint64_t>(
+      count_ - 1,
+      static_cast<std::uint64_t>(q * static_cast<double>(count_)));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum > rank) {
+      // The exact order statistic lies in this bucket; min/max clamping
+      // only ever moves the estimate toward it.
+      return std::clamp(representative(i), static_cast<double>(min_),
+                        static_cast<double>(max_));
+    }
+  }
+  return static_cast<double>(max_);  // unreachable when counts are consistent
+}
+
+Json LatencyHistogram::to_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Json j = Json::object();
+  j.set("scheme", kScheme);
+  j.set("count", count_);
+  j.set("sum_ns", sum_);
+  j.set("min_ns", count_ == 0 ? 0 : min_);
+  j.set("max_ns", count_ == 0 ? 0 : max_);
+  Json buckets = Json::array();
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    Json pair = Json::array();
+    pair.push_back(static_cast<std::uint64_t>(i));
+    pair.push_back(counts_[i]);
+    buckets.push_back(std::move(pair));
+  }
+  j.set("buckets", std::move(buckets));
+  return j;
+}
+
+LatencyHistogram LatencyHistogram::from_json(const Json& j) {
+  if (!j.is_object() || !j.contains("scheme") ||
+      j.at("scheme").as_string() != kScheme) {
+    throw std::runtime_error("LatencyHistogram: unknown or missing scheme");
+  }
+  LatencyHistogram h;
+  std::uint64_t bucket_total = 0;
+  for (const Json& pair : j.at("buckets").elements()) {
+    if (pair.size() != 2) {
+      throw std::runtime_error("LatencyHistogram: bucket entry must be [i,n]");
+    }
+    const auto idx = static_cast<std::size_t>(pair.at(0).as_int());
+    const auto n = static_cast<std::uint64_t>(pair.at(1).as_int());
+    if (idx >= h.counts_.size()) h.counts_.resize(idx + 1, 0);
+    h.counts_[idx] += n;
+    bucket_total += n;
+  }
+  h.count_ = static_cast<std::uint64_t>(j.at("count").as_int());
+  h.sum_ = j.at("sum_ns").as_int();
+  h.min_ = j.at("min_ns").as_int();
+  h.max_ = j.at("max_ns").as_int();
+  if (bucket_total != h.count_) {
+    throw std::runtime_error(
+        "LatencyHistogram: bucket counts disagree with 'count'");
+  }
+  return h;
+}
+
+}  // namespace smd::obs

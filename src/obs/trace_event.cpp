@@ -66,6 +66,11 @@ Json TraceSink::chrome_json() const {
     e.set("tid", ev.tid);
     e.set("ts", static_cast<double>(ev.ts_ns) / 1000.0);
     e.set("dur", static_cast<double>(ev.dur_ns) / 1000.0);
+    if (!ev.args.empty()) {
+      Json args = Json::object();
+      for (const auto& [key, value] : ev.args) args.set(key, value);
+      e.set("args", std::move(args));
+    }
     events.push_back(std::move(e));
   }
   Json root = Json::object();

@@ -22,7 +22,10 @@ namespace smd::obs {
 /// trace files carry the same versioning as `--json` bench records.
 /// History:
 ///   1  slices + process/thread metadata; schema_version key added
-inline constexpr int kTraceSchemaVersion = 1;
+///   2  slices may carry an "args" object of string values (span ids and
+///      exact ns timestamps for request traces — span.h); absent when
+///      empty, so version-1 consumers are unaffected
+inline constexpr int kTraceSchemaVersion = 2;
 
 /// One complete slice on a (pid, tid) track; times in nanoseconds
 /// (simulator cycles at 1 GHz map 1:1 to ns).
@@ -33,6 +36,9 @@ struct TraceEvent {
   int tid = 0;
   std::uint64_t ts_ns = 0;
   std::uint64_t dur_ns = 0;
+  /// Optional key/value payload emitted as the slice's "args" object in
+  /// insertion order (values are strings so integer ns survive exactly).
+  std::vector<std::pair<std::string, std::string>> args;
 };
 
 class TraceSink {

@@ -1,6 +1,7 @@
 #include "src/svc/server.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -9,18 +10,10 @@
 namespace smd::svc {
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-std::int64_t ns_between(Clock::time_point a, Clock::time_point b) {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count();
-}
-
-double ns_to_seconds(std::int64_t ns) { return static_cast<double>(ns) * 1e-9; }
-
 /// A slot no longer wants its result: cancelled, or past its deadline.
-bool slot_dead(const RequestSlot& slot, Clock::time_point now) {
+bool slot_dead(const RequestSlot& slot, std::int64_t now_ns) {
   return slot.cancel_requested.load(std::memory_order_relaxed) ||
-         now > slot.deadline;
+         now_ns > slot.deadline_ns;
 }
 
 }  // namespace
@@ -80,12 +73,13 @@ Server::Server(ServerOptions opts)
 Server::~Server() { shutdown(); }
 
 JobHandle Server::submit(Request req, ProgressFn progress) {
-  const Clock::time_point now = Clock::now();
   auto slot = std::make_shared<RequestSlot>();
-  slot->submitted = now;
-  slot->deadline = req.timeout_ms > 0
-                       ? now + std::chrono::milliseconds(req.timeout_ms)
-                       : Clock::time_point::max();
+  slot->t_submit_ns = obs::monotonic_ns();  // boundary b0
+  slot->ctx = span_log_.make_root();
+  slot->deadline_ns =
+      req.timeout_ms > 0
+          ? slot->t_submit_ns + req.timeout_ms * 1'000'000
+          : std::numeric_limits<std::int64_t>::max();
   slot->progress = std::move(progress);
   if (req.id.empty()) {
     req.id = "job-" + std::to_string(next_id_.fetch_add(1));
@@ -118,6 +112,10 @@ JobHandle Server::submit(Request req, ProgressFn progress) {
       lock.unlock();
       return reject(slot, ErrorCode::kShutdown, "server is shutting down");
     }
+    // Boundary b1, stamped under mu_: any job that can see this slot at
+    // delivery was joined (or created) below while we still hold the
+    // lock, so its delivery timestamp is provably later than t_admit_ns.
+    slot->t_admit_ns = obs::monotonic_ns();
     auto it = inflight_.find(slot->hash);
     if (it != inflight_.end()) {
       // In-flight dedup: ride the existing job. Never rejected for queue
@@ -154,13 +152,19 @@ JobHandle Server::submit(Request req, ProgressFn progress) {
 
 JobHandle Server::reject(const std::shared_ptr<RequestSlot>& slot,
                          ErrorCode code, std::string message) {
-  Response r;
-  r.id = slot->id;
-  r.error = code;
-  r.message = std::move(message);
-  r.config_hash = slot->hash;
-  r.total_ns = ns_between(slot->submitted, Clock::now());
-  fulfill(slot, std::move(r), /*tracked=*/false);
+  // The admission phase ends at the rejection decision; the four
+  // execution boundaries collapse onto it, so a rejection's span tree
+  // has the same six-phase shape with zero-width middle phases.
+  if (slot->t_admit_ns == 0) slot->t_admit_ns = obs::monotonic_ns();
+  JobBounds bounds;
+  bounds.exec_ns = slot->t_admit_ns;
+  bounds.dedup_ns = slot->t_admit_ns;
+  bounds.simulate_ns = slot->t_admit_ns;
+  bounds.serialize_ns = slot->t_admit_ns;
+  JobOutcome outcome;
+  outcome.error = code;
+  outcome.message = std::move(message);
+  deliver({slot}, slot->hash, bounds, outcome, /*tracked=*/false);
   return JobHandle(slot);
 }
 
@@ -204,7 +208,7 @@ void Server::worker_loop() {
 }
 
 void Server::execute(const std::shared_ptr<InflightJob>& job) {
-  const Clock::time_point exec_start = Clock::now();
+  const std::int64_t exec_ns = obs::monotonic_ns();  // boundary b2
 
   // Cooperative cancellation, checkpoint 1: if nobody attached to this
   // job still wants the result, retire it without touching the simulator.
@@ -216,7 +220,7 @@ void Server::execute(const std::shared_ptr<InflightJob>& job) {
     const std::lock_guard<std::mutex> lock(mu_);
     bool any_live = false;
     for (const auto& s : job->slots) {
-      if (!slot_dead(*s, exec_start)) {
+      if (!slot_dead(*s, exec_ns)) {
         any_live = true;
         break;
       }
@@ -230,28 +234,26 @@ void Server::execute(const std::shared_ptr<InflightJob>& job) {
     }
   }
   if (retired) {
-    // Everyone bailed: deliver per-slot verdicts (cancelled vs deadline).
-    const Clock::time_point end = Clock::now();
-    for (const auto& s : live) {
-      Response r;
-      r.id = s->id;
-      r.config_hash = job->hash;
-      const bool cancelled = s->cancel_requested.load();
-      r.error = cancelled ? ErrorCode::kCancelled : ErrorCode::kDeadlineExceeded;
-      r.message = cancelled ? "cancelled before execution"
-                            : "deadline passed before execution";
-      r.queue_ns = std::max<std::int64_t>(0, ns_between(s->submitted, exec_start));
-      r.total_ns = ns_between(s->submitted, end);
-      fulfill(s, std::move(r), /*tracked=*/true);
-    }
+    // Everyone bailed: zero-width execution phases, per-slot verdicts
+    // (cancelled vs deadline) decided in deliver().
+    JobBounds bounds;
+    bounds.exec_ns = exec_ns;
+    bounds.dedup_ns = exec_ns;
+    bounds.simulate_ns = exec_ns;
+    bounds.serialize_ns = exec_ns;
+    JobOutcome outcome;
+    outcome.pre_execution = true;
+    deliver(live, job->hash, bounds, outcome, /*tracked=*/true);
     return;
   }
   for (const auto& s : live) notify(s, JobPhase::kStarted);
 
   JobOutcome outcome;
+  JobBounds bounds;
+  bounds.exec_ns = exec_ns;
 
-  // ---- Phase: cache lookup (in-memory memo, then the persistent layer).
-  const Clock::time_point t_lookup = Clock::now();
+  // ---- Phase: dedup decision + cache lookup (in-memory memo, then the
+  // persistent layer).
   bool have_result = false;
   {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -264,12 +266,11 @@ void Server::execute(const std::shared_ptr<InflightJob>& job) {
       have_result = true;  // payload rendered in the serialize phase
     }
   }
-  outcome.lookup_ns = ns_between(t_lookup, Clock::now());
   outcome.served_by = have_result ? "cache" : "sim";
+  bounds.dedup_ns = obs::monotonic_ns();  // boundary b3
 
   // ---- Phase: simulate (problem build + cycle-accurate run).
   if (!have_result) {
-    const Clock::time_point t_sim = Clock::now();
     try {
       const std::shared_ptr<const core::Problem> problem =
           ProblemPool::shared().get(job->n_molecules);
@@ -279,9 +280,9 @@ void Server::execute(const std::shared_ptr<InflightJob>& job) {
       bool any_live = false;
       {
         const std::lock_guard<std::mutex> lock(mu_);
-        const Clock::time_point now = Clock::now();
+        const std::int64_t now_ns = obs::monotonic_ns();
         for (const auto& s : job->slots) {
-          if (!slot_dead(*s, now)) {
+          if (!slot_dead(*s, now_ns)) {
             any_live = true;
             break;
           }
@@ -299,16 +300,15 @@ void Server::execute(const std::shared_ptr<InflightJob>& job) {
       outcome.message = e.what();
       reg_.add("svc.jobs.internal_errors");
     }
-    outcome.simulate_ns = ns_between(t_sim, Clock::now());
   }
+  bounds.simulate_ns = obs::monotonic_ns();  // boundary b4
 
   // ---- Phase: serialize the deterministic payload, once per job.
   if (outcome.error == ErrorCode::kOk && outcome.payload.empty()) {
-    const Clock::time_point t_ser = Clock::now();
     outcome.payload = payload_text(job->hash, job->config, job->n_molecules,
                                    outcome.metrics);
-    outcome.serialize_ns = ns_between(t_ser, Clock::now());
   }
+  bounds.serialize_ns = obs::monotonic_ns();  // boundary b5
 
   // Publish into the memo and (for fresh simulations) the persistent layer.
   if (outcome.error == ErrorCode::kOk) {
@@ -319,42 +319,48 @@ void Server::execute(const std::shared_ptr<InflightJob>& job) {
     }
   }
 
-  finish(job, exec_start, outcome);
-}
-
-void Server::finish(const std::shared_ptr<InflightJob>& job,
-                    Clock::time_point exec_start, const JobOutcome& outcome) {
+  // Detach the slots (erasing the in-flight entry) and deliver.
   std::vector<std::shared_ptr<RequestSlot>> slots;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     slots = std::move(job->slots);
     inflight_.erase(job->hash);
   }
-  const Clock::time_point end = Clock::now();
+  deliver(slots, job->hash, bounds, outcome, /*tracked=*/true);
+}
 
-  // Per-phase wall-clock timers (job-level: one set of phases ran).
-  if (!slots.empty()) {
-    reg_.add_seconds("svc.phase.queue", ns_to_seconds(std::max<std::int64_t>(
-        0, ns_between(slots.front()->submitted, exec_start))));
-    reg_.add_seconds("svc.phase.lookup", ns_to_seconds(outcome.lookup_ns));
-    reg_.add_seconds("svc.phase.simulate", ns_to_seconds(outcome.simulate_ns));
-    reg_.add_seconds("svc.phase.serialize",
-                     ns_to_seconds(outcome.serialize_ns));
-  }
+void Server::deliver(const std::vector<std::shared_ptr<RequestSlot>>& slots,
+                     std::uint64_t hash, const JobBounds& bounds,
+                     const JobOutcome& outcome, bool tracked) {
+  const std::int64_t end_ns = obs::monotonic_ns();  // boundary b6
   if (outcome.error == ErrorCode::kOk && outcome.served_by == "cache") {
     reg_.add("svc.jobs.cache_hit");
   }
-
   for (const auto& s : slots) {
+    // The clamped boundary chain: each boundary is at least the previous
+    // one, so consecutive differences are nonnegative and telescope --
+    // sum(phases) == b6 - b0 == total_ns, exactly, by construction.
+    std::array<std::int64_t, 7> b;
+    b[0] = s->t_submit_ns;
+    b[1] = std::max(b[0], s->t_admit_ns);
+    b[2] = std::max(b[1], bounds.exec_ns);
+    b[3] = std::max(b[2], bounds.dedup_ns);
+    b[4] = std::max(b[3], bounds.simulate_ns);
+    b[5] = std::max(b[4], bounds.serialize_ns);
+    b[6] = std::max(b[5], end_ns);
+
     Response r;
     r.id = s->id;
-    r.config_hash = job->hash;
+    r.config_hash = hash;
+    r.trace_id = s->ctx.trace_id;
     if (s->cancel_requested.load()) {
       r.error = ErrorCode::kCancelled;
-      r.message = "cancelled";
-    } else if (end > s->deadline) {
+      r.message = outcome.pre_execution ? "cancelled before execution"
+                                        : "cancelled";
+    } else if (b[6] > s->deadline_ns) {
       r.error = ErrorCode::kDeadlineExceeded;
-      r.message = "deadline exceeded";
+      r.message = outcome.pre_execution ? "deadline passed before execution"
+                                        : "deadline exceeded";
     } else if (outcome.error != ErrorCode::kOk) {
       r.error = outcome.error;
       r.message = outcome.message;
@@ -363,14 +369,65 @@ void Server::finish(const std::shared_ptr<InflightJob>& job,
       r.payload = outcome.payload;
       r.served_by = s->leader ? outcome.served_by : "dedup";
     }
-    r.queue_ns =
-        std::max<std::int64_t>(0, ns_between(s->submitted, exec_start));
-    r.lookup_ns = outcome.lookup_ns;
-    r.simulate_ns = outcome.simulate_ns;
-    r.serialize_ns = outcome.serialize_ns;
-    r.total_ns = ns_between(s->submitted, end);
-    fulfill(s, std::move(r), /*tracked=*/true);
+    r.admission_ns = b[1] - b[0];
+    r.queue_ns = b[2] - b[1];
+    r.lookup_ns = b[3] - b[2];
+    r.simulate_ns = b[4] - b[3];
+    r.serialize_ns = b[5] - b[4];
+    r.complete_ns = b[6] - b[5];
+    r.total_ns = b[6] - b[0];
+
+    // Histograms describe served work: only successful responses count.
+    if (r.error == ErrorCode::kOk) {
+      hist_queue_.record(r.queue_ns);
+      hist_execute_.record(r.lookup_ns + r.simulate_ns);
+      hist_serialize_.record(r.serialize_ns);
+      hist_total_.record(r.total_ns);
+    }
+    emit_spans(*s, b);
+    fulfill(s, std::move(r), tracked);
   }
+}
+
+void Server::emit_spans(const RequestSlot& slot,
+                        const std::array<std::int64_t, 7>& b) {
+  if (!opts_.record_spans && opts_.event_log == nullptr) return;
+  static constexpr const char* kPhaseNames[6] = {
+      "admission", "queue", "dedup", "simulate", "serialize", "complete"};
+  std::vector<obs::SpanRecord> recs;
+  recs.reserve(7);
+  obs::SpanRecord root;
+  root.ctx = slot.ctx;
+  root.name = "request";
+  root.category = "svc";
+  root.arg = slot.id;
+  root.start_ns = b[0];
+  root.end_ns = b[6];
+  recs.push_back(std::move(root));
+  for (int i = 0; i < 6; ++i) {
+    obs::SpanRecord rec;
+    rec.ctx = span_log_.make_child(slot.ctx);
+    rec.name = kPhaseNames[i];
+    rec.category = "svc.phase";
+    rec.start_ns = b[i];
+    rec.end_ns = b[i + 1];
+    recs.push_back(std::move(rec));
+  }
+  for (obs::SpanRecord& rec : recs) {
+    if (opts_.event_log != nullptr) {
+      opts_.event_log->append(obs::span_json(rec));
+    }
+    if (opts_.record_spans) span_log_.record(std::move(rec));
+  }
+}
+
+obs::Json Server::stats_json() const {
+  obs::Json j = obs::Json::object();
+  j.set("svc.latency.queue_wait", hist_queue_.to_json());
+  j.set("svc.latency.execute", hist_execute_.to_json());
+  j.set("svc.latency.serialize", hist_serialize_.to_json());
+  j.set("svc.latency.total", hist_total_.to_json());
+  return j;
 }
 
 void Server::fulfill(const std::shared_ptr<RequestSlot>& slot, Response resp,

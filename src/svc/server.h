@@ -25,14 +25,25 @@
 // duplicate requester: the simulation proceeds while any attached request
 // still wants the result, and each request gets its own verdict.
 //
-// Telemetry (obs registry): counters svc.jobs.{submitted, completed,
-// cancelled, rejected, deduped, cache_hit, simulated, internal_errors},
-// gauges svc.queue.depth / svc.queue.peak_depth, and per-phase latency
-// timers svc.phase.{queue, lookup, simulate, serialize}.
+// Telemetry (DESIGN.md section 15; names in svc/telemetry.h): counters
+// svc.jobs.{submitted, completed, cancelled, rejected, deduped,
+// cache_hit, simulated, internal_errors}, gauges svc.queue.depth /
+// svc.queue.peak_depth, and latency histograms
+// svc.latency.{queue_wait, execute, serialize, total}
+// (obs::LatencyHistogram -- mergeable, quantile-bounded).
+//
+// Tracing: every request carries an obs::SpanContext from admission to
+// delivery. Its phase timings come from one non-decreasing
+// boundary-timestamp chain (submit -> admit -> exec -> dedup -> sim ->
+// serialize -> deliver), so the six phase spans *partition* the request's
+// end-to-end latency exactly -- sum(phases) == total_ns for every
+// response, enforced by svc_test. With record_spans the span tree lands
+// in spans() (exportable as nested Chrome slices); with an event_log
+// each span is also one crash-safe JSONL line.
 #pragma once
 
+#include <array>
 #include <atomic>
-#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -45,7 +56,10 @@
 #include <vector>
 
 #include "src/core/run.h"
+#include "src/obs/event_log.h"
+#include "src/obs/latency_histogram.h"
 #include "src/obs/registry.h"
+#include "src/obs/span.h"
 #include "src/svc/queue.h"
 #include "src/svc/wire.h"
 #include "src/tune/cache.h"
@@ -65,6 +79,12 @@ struct ServerOptions {
   /// reduces to molecules). Over-budget requests reject structurally.
   int max_molecules = 1 << 20;
   sim::SimEngine engine = sim::SimEngine::kEvent;
+  /// Keep every request's span tree in spans() (memory grows with
+  /// request count; meant for traced runs, not unbounded serving).
+  bool record_spans = false;
+  /// When non-null (must outlive the server), every span is appended to
+  /// this crash-safe JSONL log as it finishes.
+  obs::EventLog* event_log = nullptr;
 };
 
 /// Streaming progress, delivered per request through the callback given
@@ -83,8 +103,14 @@ struct RequestSlot {
   std::string id;
   std::uint64_t hash = 0;
   bool leader = false;  ///< first request of its job (it named the config)
-  std::chrono::steady_clock::time_point submitted;
-  std::chrono::steady_clock::time_point deadline;  ///< ::max() when none
+  obs::SpanContext ctx;  ///< root span of this request's trace
+  /// Boundary-chain prefix, obs::monotonic_ns() timestamps. t_admit_ns is
+  /// stamped under the server mutex when the request is accepted (or at
+  /// the rejection decision), so it is always set before delivery reads
+  /// it.
+  std::int64_t t_submit_ns = 0;
+  std::int64_t t_admit_ns = 0;
+  std::int64_t deadline_ns = 0;  ///< int64 max when none
   ProgressFn progress;
   std::atomic<bool> cancel_requested{false};
 
@@ -170,6 +196,24 @@ class Server {
   std::size_t queue_depth() const { return queue_.depth(); }
   std::size_t queue_peak_depth() const { return queue_.peak_depth(); }
 
+  /// Recorded span trees (populated only with options().record_spans).
+  obs::SpanLog& spans() { return span_log_; }
+  const obs::SpanLog& spans() const { return span_log_; }
+
+  /// Latency histograms over *successful* responses (rejected and
+  /// cancelled requests are excluded so percentiles describe served
+  /// work). queue_wait = admission->exec, execute = exec->sim end (dedup
+  /// decision + lookup + simulate), serialize = payload rendering, total
+  /// = submit->delivery.
+  const obs::LatencyHistogram& queue_wait_hist() const { return hist_queue_; }
+  const obs::LatencyHistogram& execute_hist() const { return hist_execute_; }
+  const obs::LatencyHistogram& serialize_hist() const { return hist_serialize_; }
+  const obs::LatencyHistogram& total_hist() const { return hist_total_; }
+
+  /// Histogram snapshot keyed by metric name (svc/telemetry.h), the
+  /// "extra" block a StatsExporter attaches to stats snapshots.
+  obs::Json stats_json() const;
+
  private:
   struct CachedResult {
     tune::Metrics metrics;
@@ -181,7 +225,17 @@ class Server {
     std::string served_by;  ///< leader's provenance: "sim" or "cache"
     tune::Metrics metrics;
     std::string payload;
-    std::int64_t lookup_ns = 0;
+    /// True when the job retired before its first phase (every requester
+    /// cancelled / timed out while queued) -- picks the "before
+    /// execution" verdict wording.
+    bool pre_execution = false;
+  };
+  /// Job-level boundary timestamps (monotonic ns): execution start, dedup
+  /// decision + cache probe end, simulate end, serialize end. A retired
+  /// job collapses all four onto its execution-start stamp.
+  struct JobBounds {
+    std::int64_t exec_ns = 0;
+    std::int64_t dedup_ns = 0;
     std::int64_t simulate_ns = 0;
     std::int64_t serialize_ns = 0;
   };
@@ -190,12 +244,16 @@ class Server {
                    std::string message);
   void worker_loop();
   void execute(const std::shared_ptr<InflightJob>& job);
-  /// Detach the job's slots (erasing it from the in-flight index) and
-  /// deliver each slot's verdict: its own cancel/deadline state wins over
-  /// the job-level outcome.
-  void finish(const std::shared_ptr<InflightJob>& job,
-              std::chrono::steady_clock::time_point exec_start,
-              const JobOutcome& outcome);
+  /// Deliver every detached slot's verdict (its own cancel/deadline state
+  /// wins over the job-level outcome), derive the six-phase partition
+  /// from the clamped boundary chain, feed the histograms, emit spans.
+  void deliver(const std::vector<std::shared_ptr<RequestSlot>>& slots,
+               std::uint64_t hash, const JobBounds& bounds,
+               const JobOutcome& outcome, bool tracked);
+  /// Record the request's span tree (root + six phase children) into the
+  /// span log and/or event log, per options.
+  void emit_spans(const RequestSlot& slot,
+                  const std::array<std::int64_t, 7>& b);
   void fulfill(const std::shared_ptr<RequestSlot>& slot, Response resp,
                bool tracked);
   static void notify(const std::shared_ptr<RequestSlot>& slot, JobPhase phase);
@@ -203,6 +261,11 @@ class Server {
   ServerOptions opts_;
   obs::CounterRegistry& reg_;  ///< resolved once so all threads agree
   JobQueue queue_;
+  obs::SpanLog span_log_;  ///< also the trace/span id authority
+  obs::LatencyHistogram hist_queue_;
+  obs::LatencyHistogram hist_execute_;
+  obs::LatencyHistogram hist_serialize_;
+  obs::LatencyHistogram hist_total_;
 
   mutable std::mutex mu_;  // inflight_, by_id_, memo_, cache_, outstanding_
   std::condition_variable drain_cv_;

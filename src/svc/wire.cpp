@@ -126,12 +126,15 @@ obs::Json Response::to_json() const {
   j.set("message", message);
   j.set("config_hash", tune::hash_hex(config_hash));
   j.set("served_by", served_by);
+  j.set("trace", tune::hash_hex(trace_id));
   if (ok()) j.set("payload", obs::Json::parse(payload));
   obs::Json t = obs::Json::object();
+  t.set("admission_ns", admission_ns);
   t.set("queue_ns", queue_ns);
   t.set("lookup_ns", lookup_ns);
   t.set("simulate_ns", simulate_ns);
   t.set("serialize_ns", serialize_ns);
+  t.set("complete_ns", complete_ns);
   t.set("total_ns", total_ns);
   j.set("timing", std::move(t));
   return j;
@@ -141,7 +144,10 @@ Response Response::from_json(const obs::Json& j) {
   if (!j.is_object() || !j.contains("schema_version")) {
     throw WireError("response must be an object with schema_version");
   }
-  if (j.at("schema_version").as_int() != kWireSchemaVersion) {
+  // Version 1 responses (pre-partition timing) still parse: the fields
+  // added in version 2 default to zero.
+  const std::int64_t version = j.at("schema_version").as_int();
+  if (version != 1 && version != kWireSchemaVersion) {
     throw WireError("unsupported response schema_version");
   }
   Response r;
@@ -150,17 +156,26 @@ Response Response::from_json(const obs::Json& j) {
   r.message = j.at("message").as_string();
   r.config_hash = std::stoull(j.at("config_hash").as_string(), nullptr, 16);
   r.served_by = j.at("served_by").as_string();
+  if (const obs::Json* trace = j.find("trace")) {
+    r.trace_id = std::stoull(trace->as_string(), nullptr, 16);
+  }
   if (r.ok()) {
     const obs::Json& p = j.at("payload");
     r.payload = p.dump(0);
     r.metrics = tune::Metrics::from_json(p.at("metrics"));
   }
   const obs::Json& t = j.at("timing");
-  r.queue_ns = t.at("queue_ns").as_int();
-  r.lookup_ns = t.at("lookup_ns").as_int();
-  r.simulate_ns = t.at("simulate_ns").as_int();
-  r.serialize_ns = t.at("serialize_ns").as_int();
-  r.total_ns = t.at("total_ns").as_int();
+  const auto field = [&t](const char* key) -> std::int64_t {
+    const obs::Json* v = t.find(key);
+    return v == nullptr ? 0 : v->as_int();
+  };
+  r.admission_ns = field("admission_ns");
+  r.queue_ns = field("queue_ns");
+  r.lookup_ns = field("lookup_ns");
+  r.simulate_ns = field("simulate_ns");
+  r.serialize_ns = field("serialize_ns");
+  r.complete_ns = field("complete_ns");
+  r.total_ns = field("total_ns");
   return r;
 }
 
@@ -186,8 +201,11 @@ std::vector<Request> parse_request_file(const obs::Json& doc) {
   if (doc.is_array()) {
     list = &doc;
   } else if (doc.is_object()) {
+    // Request layout is unchanged since version 1, so batches written for
+    // either version parse.
     const obs::Json* version = doc.find("schema_version");
-    if (version == nullptr || version->as_int() != kWireSchemaVersion) {
+    if (version == nullptr ||
+        (version->as_int() != 1 && version->as_int() != kWireSchemaVersion)) {
       throw WireError("request file needs schema_version " +
                       std::to_string(kWireSchemaVersion));
     }

@@ -26,7 +26,14 @@ namespace smd::svc {
 
 /// Stamped into every request/response and into the payload. Bump on any
 /// field rename/removal/meaning change (see core/schema.h for the policy).
-inline constexpr int kWireSchemaVersion = 1;
+/// History:
+///   1  initial request/response/payload layout
+///   2  timing rebuilt as an exact six-phase partition (DESIGN.md
+///      section 15): + admission_ns/complete_ns, queue_ns narrowed from
+///      submit->exec to admission->exec, phases now sum to total_ns
+///      exactly; + top-level "trace" id. Requests are unchanged
+///      (parse_request_file accepts version 1 batches).
+inline constexpr int kWireSchemaVersion = 2;
 
 /// Structured outcome of a request. Everything except kOk carries a
 /// human-readable `message` alongside the code.
@@ -83,14 +90,22 @@ struct Response {
   tune::Metrics metrics;         ///< valid iff error == kOk
   /// The deterministic payload document (payload_text), "" unless kOk.
   std::string payload;
+  /// Trace id of this request's span tree (obs::SpanContext::trace_id);
+  /// 0 when the server ran without tracing enabled.
+  std::uint64_t trace_id = 0;
 
-  // Per-request latency decomposition, wall-clock ns (the Andersson-style
-  // breakdown: queue wait / cache lookup / simulate / serialize).
-  std::int64_t queue_ns = 0;      ///< submit -> execution start
-  std::int64_t lookup_ns = 0;     ///< result-cache probe
+  // Per-request latency decomposition, wall-clock ns. The six phases are
+  // derived from one non-decreasing boundary chain per request
+  // (DESIGN.md section 15), so they *partition* the end-to-end latency:
+  //   admission_ns + queue_ns + lookup_ns + simulate_ns + serialize_ns
+  //     + complete_ns == total_ns, exactly, for every response.
+  std::int64_t admission_ns = 0;  ///< submit -> admission decision
+  std::int64_t queue_ns = 0;      ///< admission -> execution start
+  std::int64_t lookup_ns = 0;     ///< dedup decision + result-cache probe
   std::int64_t simulate_ns = 0;   ///< problem build + simulation
   std::int64_t serialize_ns = 0;  ///< payload rendering
-  std::int64_t total_ns = 0;      ///< submit -> completion
+  std::int64_t complete_ns = 0;   ///< serialize end -> result delivery
+  std::int64_t total_ns = 0;      ///< submit -> delivery (== phase sum)
 
   bool ok() const { return error == ErrorCode::kOk; }
 

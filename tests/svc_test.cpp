@@ -8,8 +8,11 @@
 // assertion here doubles as a data-race probe.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <random>
 #include <stdexcept>
@@ -17,9 +20,13 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/event_log.h"
 #include "src/obs/registry.h"
+#include "src/obs/span.h"
+#include "src/obs/trace_event.h"
 #include "src/svc/queue.h"
 #include "src/svc/server.h"
+#include "src/svc/telemetry.h"
 #include "src/svc/wire.h"
 #include "src/tune/runner.h"
 
@@ -456,6 +463,313 @@ TEST(ServerProperty, RandomMixConservesCountersAndPayloads) {
         << "counter conservation violated at " << workers << " workers";
     EXPECT_LE(d.simulated, kUnique) << "more simulations than unique configs";
     EXPECT_GT(completed, 0) << "the mix should complete at least one request";
+  }
+}
+
+// ---- Wire v2: partition timing and trace id (DESIGN.md section 15). -------
+
+TEST(Wire, ResponseTimingAndTraceRoundTripExactly) {
+  Response r;
+  r.id = "t";
+  r.error = ErrorCode::kCancelled;
+  r.message = "cancelled";
+  r.config_hash = 0x1122334455667788ull;
+  r.served_by = "";
+  r.trace_id = 0xfeedfacecafebeefull;
+  r.admission_ns = 11;
+  r.queue_ns = 22;
+  r.lookup_ns = 33;
+  r.simulate_ns = 44;
+  r.serialize_ns = 55;
+  r.complete_ns = 66;
+  r.total_ns = 11 + 22 + 33 + 44 + 55 + 66;
+  const obs::Json j = r.to_json();
+  EXPECT_EQ(j.at("schema_version").as_int(), kWireSchemaVersion);
+  const Response back = Response::from_json(j);
+  EXPECT_EQ(back.trace_id, r.trace_id);
+  EXPECT_EQ(back.admission_ns, 11);
+  EXPECT_EQ(back.queue_ns, 22);
+  EXPECT_EQ(back.lookup_ns, 33);
+  EXPECT_EQ(back.simulate_ns, 44);
+  EXPECT_EQ(back.serialize_ns, 55);
+  EXPECT_EQ(back.complete_ns, 66);
+  EXPECT_EQ(back.total_ns, r.total_ns);
+}
+
+TEST(Wire, VersionOneResponsesStillParse) {
+  // A version-1 record (pre-partition timing, no trace id): the fields
+  // added in version 2 default to zero instead of throwing.
+  obs::Json j = obs::Json::object();
+  j.set("schema_version", 1);
+  j.set("id", "old");
+  j.set("error", error_code_name(ErrorCode::kCancelled));
+  j.set("message", "cancelled");
+  j.set("config_hash", "00000000000000ff");
+  j.set("served_by", "");
+  obs::Json t = obs::Json::object();
+  t.set("queue_ns", 100);
+  t.set("lookup_ns", 5);
+  t.set("simulate_ns", 0);
+  t.set("serialize_ns", 0);
+  t.set("total_ns", 150);
+  j.set("timing", std::move(t));
+  const Response r = Response::from_json(j);
+  EXPECT_EQ(r.error, ErrorCode::kCancelled);
+  EXPECT_EQ(r.config_hash, 0xffu);
+  EXPECT_EQ(r.trace_id, 0u);
+  EXPECT_EQ(r.admission_ns, 0);
+  EXPECT_EQ(r.complete_ns, 0);
+  EXPECT_EQ(r.queue_ns, 100);
+  EXPECT_EQ(r.total_ns, 150);
+}
+
+/// The DESIGN.md section 15 sum-to-total invariant for one response.
+std::int64_t phase_sum(const Response& r) {
+  return r.admission_ns + r.queue_ns + r.lookup_ns + r.simulate_ns +
+         r.serialize_ns + r.complete_ns;
+}
+
+TEST(Server, SingleRequestPhasesPartitionTotalExactly) {
+  ServerOptions opts;
+  opts.workers = 1;
+  Server server(opts);
+  const Response r = server.submit(small_request("one")).wait();
+  ASSERT_TRUE(r.ok()) << r.message;
+  EXPECT_NE(r.trace_id, 0u) << "every request gets a trace";
+  EXPECT_GT(r.total_ns, 0);
+  EXPECT_EQ(phase_sum(r), r.total_ns)
+      << "the six phases must partition the end-to-end latency";
+  // Every phase is a non-negative interval of the boundary chain.
+  for (const std::int64_t ns : {r.admission_ns, r.queue_ns, r.lookup_ns,
+                                r.simulate_ns, r.serialize_ns, r.complete_ns}) {
+    EXPECT_GE(ns, 0);
+  }
+  // The ok response fed all four latency histograms.
+  EXPECT_EQ(server.queue_wait_hist().count(), 1u);
+  EXPECT_EQ(server.execute_hist().count(), 1u);
+  EXPECT_EQ(server.serialize_hist().count(), 1u);
+  EXPECT_EQ(server.total_hist().count(), 1u);
+  EXPECT_EQ(server.total_hist().sum_ns(), r.total_ns);
+  // And the stats snapshot carries them under the telemetry names.
+  const obs::Json stats = server.stats_json();
+  EXPECT_EQ(stats.at("svc.latency.total").at("count").as_int(), 1);
+}
+
+// ---- The acceptance property: span trees partition latency. ----------------
+//
+// The ISSUE acceptance criterion, verbatim: under a randomized mix of
+// duplicates, cancellations and tight deadlines at several worker
+// counts, every response's six phases sum to its end-to-end latency
+// exactly, and the span tree of every request -- recovered from the
+// in-memory log, from the Chrome trace export, and from the JSONL event
+// log -- partitions the root span exactly, with the root's duration
+// equal to the response's total_ns.
+TEST(ServerProperty, SpanTreesPartitionLatencyUnderRandomMix) {
+  constexpr int kRequests = 32;
+  constexpr int kUnique = 4;
+  std::vector<tune::Candidate> configs(kUnique);
+  for (int u = 0; u < kUnique; ++u) configs[u].unroll = 1 + u;
+
+  for (const int workers : {1, 4}) {
+    const std::string events_path =
+        testing::TempDir() + "/svc_test_spans_" + std::to_string(workers) +
+        ".jsonl";
+    obs::EventLog events;
+    events.open(events_path);
+    ServerOptions opts;
+    opts.workers = workers;
+    opts.queue_cap = 8;
+    opts.record_spans = true;
+    opts.event_log = &events;
+    std::vector<Response> responses;
+    {
+      Server server(opts);
+      std::mt19937 rng(20260810);
+      std::vector<JobHandle> handles;
+      for (int i = 0; i < kRequests; ++i) {
+        Request req;
+        req.id = "span-" + std::to_string(i);
+        req.config = configs[rng() % kUnique];
+        req.n_molecules = kSmall;
+        req.priority = static_cast<int>(rng() % 3);
+        if (rng() % 8 == 0) req.timeout_ms = 1;
+        handles.push_back(server.submit(req));
+        if (rng() % 6 == 0) {
+          server.cancel("span-" + std::to_string(rng() % (i + 1)));
+        }
+      }
+      server.drain();
+      for (const JobHandle& h : handles) responses.push_back(h.wait());
+
+      // 1. Every response -- completed, cancelled, timed out or rejected
+      //    -- partitions exactly.
+      std::map<std::uint64_t, const Response*> by_trace;
+      for (const Response& r : responses) {
+        EXPECT_EQ(phase_sum(r), r.total_ns)
+            << r.id << " (" << error_code_name(r.error) << ") at " << workers
+            << " workers";
+        EXPECT_NE(r.trace_id, 0u);
+        by_trace[r.trace_id] = &r;
+      }
+      ASSERT_EQ(by_trace.size(), responses.size())
+          << "trace ids must be unique per request";
+
+      // One reusable checker for all three recovery paths.
+      const auto check_trees = [&](const std::vector<obs::SpanRecord>& spans,
+                                   const char* source) {
+        std::map<std::uint64_t, std::vector<obs::SpanRecord>> traces;
+        for (const obs::SpanRecord& s : spans) {
+          traces[s.ctx.trace_id].push_back(s);
+        }
+        ASSERT_EQ(traces.size(), responses.size())
+            << source << ": one trace per request at " << workers << " workers";
+        for (const auto& [trace_id, tree] : traces) {
+          std::string why;
+          EXPECT_TRUE(obs::spans_partition_exactly(tree, &why))
+              << source << ": " << why;
+          ASSERT_EQ(tree.size(), 7u) << source << ": root + six phases";
+          ASSERT_TRUE(by_trace.count(trace_id)) << source;
+          const Response& r = *by_trace[trace_id];
+          for (const obs::SpanRecord& s : tree) {
+            if (s.ctx.parent_id != 0) continue;  // the root span
+            EXPECT_EQ(s.duration_ns(), r.total_ns)
+                << source << ": root span of " << r.id
+                << " must cover exactly the end-to-end latency";
+            EXPECT_EQ(s.arg, r.id) << source;
+          }
+        }
+      };
+
+      // 2. The in-memory span log.
+      check_trees(server.spans().snapshot(), "span log");
+
+      // 3. The Chrome trace export, parsed back from rendered JSON.
+      obs::TraceSink sink;
+      server.spans().append_chrome(&sink);
+      const obs::Json chrome = obs::Json::parse(sink.chrome_json().dump(0));
+      check_trees(obs::spans_from_chrome(chrome), "chrome trace");
+
+      server.shutdown();
+    }
+
+    // 4. The JSONL event log, reloaded from disk after the server died.
+    events.close();
+    const obs::EventLogLoad load = obs::load_event_log(events_path);
+    EXPECT_EQ(load.dropped, 0u);
+    std::vector<obs::SpanRecord> from_log;
+    for (const obs::Json& e : load.events) {
+      if (e.at("type").as_string() == "span") {
+        from_log.push_back(obs::span_from_json(e));
+      }
+    }
+    std::map<std::uint64_t, std::vector<obs::SpanRecord>> traces;
+    for (const obs::SpanRecord& s : from_log) {
+      traces[s.ctx.trace_id].push_back(s);
+    }
+    EXPECT_EQ(traces.size(), responses.size())
+        << "event log: one trace per request at " << workers << " workers";
+    for (const auto& [trace_id, tree] : traces) {
+      std::string why;
+      EXPECT_TRUE(obs::spans_partition_exactly(tree, &why))
+          << "event log: " << why;
+    }
+    std::remove(events_path.c_str());
+  }
+}
+
+// ---- Histogram fidelity at load (satellite of DESIGN.md section 15). ------
+//
+// 1000+ requests through the real server: the four service histograms
+// must agree with the exact sorted per-response latencies to within the
+// documented kQuantileRelErr bound, at every headline quantile.
+TEST(ServerProperty, HistogramQuantilesTrackExactSortedLatencies) {
+  constexpr int kRequests = 1000;
+  constexpr int kUnique = 6;
+  std::vector<tune::Candidate> configs(kUnique);
+  for (int u = 0; u < kUnique; ++u) configs[u].unroll = 1 + u;
+
+  ServerOptions opts;
+  opts.workers = 4;
+  opts.queue_cap = kRequests;
+  Server server(opts);
+  std::vector<JobHandle> handles;
+  handles.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    Request req;
+    req.id = "load-" + std::to_string(i);
+    req.config = configs[i % kUnique];
+    req.n_molecules = kSmall;
+    handles.push_back(server.submit(req));
+  }
+  server.drain();
+
+  std::vector<std::int64_t> queue_wait, execute, serialize, total;
+  for (const JobHandle& h : handles) {
+    const Response& r = h.wait();
+    ASSERT_TRUE(r.ok()) << r.id << ": " << r.message;
+    ASSERT_EQ(phase_sum(r), r.total_ns) << r.id;
+    queue_wait.push_back(r.queue_ns);
+    execute.push_back(r.lookup_ns + r.simulate_ns);
+    serialize.push_back(r.serialize_ns);
+    total.push_back(r.total_ns);
+  }
+
+  const auto check = [](const obs::LatencyHistogram& h,
+                        std::vector<std::int64_t> exact, const char* name) {
+    ASSERT_EQ(h.count(), exact.size()) << name;
+    std::sort(exact.begin(), exact.end());
+    for (const double q : {0.50, 0.90, 0.95, 0.99}) {
+      const auto rank = std::min<std::size_t>(
+          exact.size() - 1,
+          static_cast<std::size_t>(q * static_cast<double>(exact.size())));
+      const double want = static_cast<double>(exact[rank]);
+      const double got = h.quantile(q);
+      EXPECT_LE(std::abs(got - want),
+                std::max(1.0, want * obs::LatencyHistogram::kQuantileRelErr))
+          << name << " p" << q * 100 << ": histogram " << got << " vs exact "
+          << want;
+    }
+    EXPECT_EQ(h.max_ns(), exact.back()) << name;
+  };
+  check(server.queue_wait_hist(), queue_wait, "svc.latency.queue_wait");
+  check(server.execute_hist(), execute, "svc.latency.execute");
+  check(server.serialize_hist(), serialize, "svc.latency.serialize");
+  check(server.total_hist(), total, "svc.latency.total");
+}
+
+// ---- Telemetry-name drift guard (DESIGN.md section 15 table). --------------
+//
+// The analogue of the analysis check-catalogue test: every metric the
+// service and tracing layers emit must appear exactly once in the
+// DESIGN.md telemetry table, and the table must not list names the code
+// no longer emits.
+TEST(Telemetry, EveryMetricAppearsExactlyOnceInDesignTable) {
+  const std::string path = std::string(SMD_SOURCE_DIR) + "/DESIGN.md";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::map<std::string, int> seen;  // table-row metric names -> occurrences
+  std::string line;
+  while (std::getline(in, line)) {
+    // Table rows of the form "| `svc.jobs.submitted` | counter | ... |".
+    if (line.rfind("| `", 0) != 0) continue;
+    const std::size_t close = line.find('`', 3);
+    if (close == std::string::npos) continue;
+    const std::string name = line.substr(3, close - 3);
+    if (name.rfind("svc.", 0) != 0 && name.rfind("tune.", 0) != 0 &&
+        name.rfind("obs.", 0) != 0) {
+      continue;
+    }
+    ++seen[name];
+  }
+  for (const MetricInfo& m : known_metric_names()) {
+    EXPECT_EQ(seen[m.name], 1)
+        << m.name << " must appear exactly once in the DESIGN.md "
+        << "telemetry table";
+    seen.erase(m.name);
+  }
+  for (const auto& [name, n] : seen) {
+    ADD_FAILURE() << "DESIGN.md telemetry table lists " << name << " (" << n
+                  << "x) but svc::known_metric_names() does not";
   }
 }
 
